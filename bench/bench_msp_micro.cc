@@ -1,0 +1,65 @@
+// Micro-benchmark (ablation): monotone span program construction and purge
+// costs vs. formula size — confirms the non-cryptographic protocol parts are
+// negligible next to group operations.
+#include <benchmark/benchmark.h>
+
+#include "policy/msp.h"
+
+namespace {
+
+using namespace apqa::policy;
+
+Policy WidePolicy(int clauses, int width) {
+  std::vector<Clause> dnf;
+  for (int c = 0; c < clauses; ++c) {
+    Clause clause;
+    for (int w = 0; w < width; ++w) {
+      clause.insert("Role" + std::to_string(c * width + w));
+    }
+    dnf.push_back(std::move(clause));
+  }
+  return Policy::FromDnfClauses(dnf);
+}
+
+void BM_BuildMsp(benchmark::State& state) {
+  Policy p = WidePolicy(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMsp(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildMsp)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_SatisfyingVector(benchmark::State& state) {
+  Policy p = WidePolicy(static_cast<int>(state.range(0)), 3);
+  RoleSet roles = {"Role0", "Role1", "Role2"};  // satisfies the first clause
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatisfyingVector(p, roles));
+  }
+}
+BENCHMARK(BM_SatisfyingVector)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_Purge(benchmark::State& state) {
+  int clauses = static_cast<int>(state.range(0));
+  Policy p = WidePolicy(clauses, 3);
+  // Keep one role of every clause so the purge succeeds.
+  RoleSet keep;
+  for (int c = 0; c < clauses; ++c) keep.insert("Role" + std::to_string(c * 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Purge(p, keep));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Purge)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_DnfNormalize(benchmark::State& state) {
+  Policy p = WidePolicy(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.DnfClauses());
+  }
+}
+BENCHMARK(BM_DnfNormalize)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmark (ablation): pairing-layer primitive costs. Justifies the
+// shared-final-exponentiation design of ABS verification — a multi-pairing
+// of n pairs costs n Miller loops plus ONE final exponentiation.
+#include <benchmark/benchmark.h>
+
+#include "crypto/pairing.h"
+#include "crypto/rng.h"
+
+namespace {
+
+using namespace apqa::crypto;
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  Rng rng(1);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  Fr k = rng.NextNonZeroFr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.ScalarMul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_G2ScalarMul(benchmark::State& state) {
+  Rng rng(2);
+  G2 p = G2Mul(rng.NextNonZeroFr());
+  Fr k = rng.NextNonZeroFr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.ScalarMul(k));
+  }
+}
+BENCHMARK(BM_G2ScalarMul);
+
+void BM_MillerLoop(benchmark::State& state) {
+  Rng rng(3);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MillerLoop(p, q));
+  }
+}
+BENCHMARK(BM_MillerLoop);
+
+void BM_MillerLoopGeneric(benchmark::State& state) {
+  Rng rng(3);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MillerLoopGeneric(p, q));
+  }
+}
+BENCHMARK(BM_MillerLoopGeneric);
+
+void BM_FinalExponentiation(benchmark::State& state) {
+  Rng rng(4);
+  GT f = MillerLoop(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FinalExponentiation(f));
+  }
+}
+BENCHMARK(BM_FinalExponentiation);
+
+void BM_FullPairing(benchmark::State& state) {
+  Rng rng(5);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pairing(p, q));
+  }
+}
+BENCHMARK(BM_FullPairing);
+
+void BM_MultiPairing(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::pair<G1, G2>> pairs;
+  for (int i = 0; i < state.range(0); ++i) {
+    pairs.emplace_back(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiPairing(pairs));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiPairing)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_Fp12Mul(benchmark::State& state) {
+  Rng rng(7);
+  GT a = Pairing(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  GT b = a * a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_Fp12Mul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Shared helpers for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints the same rows/series the paper reports (absolute numbers differ —
+// the substrate is a from-scratch BLS12-381 implementation on one core; the
+// *shape* is what must hold, see EXPERIMENTS.md).
+//
+// Scales are reduced relative to the paper (see tpch/tpch.h). Environment
+// overrides: APQA_BENCH_QUERIES (queries averaged per row, default 5),
+// APQA_BENCH_FAST (=1 shrinks sweeps for smoke-testing).
+#ifndef APQA_BENCH_BENCH_UTIL_H_
+#define APQA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "core/system.h"
+#include "tpch/tpch.h"
+
+namespace apqa::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline int QueriesPerRow() {
+  const char* v = std::getenv("APQA_BENCH_QUERIES");
+  return v != nullptr ? std::atoi(v) : 3;
+}
+
+inline bool FastMode() {
+  const char* v = std::getenv("APQA_BENCH_FAST");
+  return v != nullptr && std::atoi(v) != 0;
+}
+
+// A ready-to-query deployment over TPC-H-style data.
+struct Deployment {
+  std::unique_ptr<core::DataOwner> owner;
+  std::unique_ptr<core::ServiceProvider> sp;
+  std::unique_ptr<tpch::PolicyGen> policy_gen;
+  policy::RoleSet user_roles;
+  std::size_t record_count = 0;
+  double build_sign_ms = 0;  // DO signing cost (Table 1)
+
+  core::Vo RangeQuery(const core::Box& range) {
+    return sp->RangeQuery(range, user_roles);
+  }
+};
+
+struct DeployConfig {
+  // 16^3 grid: sparse relative to the ~500 records of scale 0.1-1, so
+  // inaccessible/pseudo space aggregates in the tree as in the paper.
+  core::Domain domain{3, 4};
+  double tpch_scale = 0.1;
+  int num_policies = 10;
+  int num_roles = 10;
+  int or_fan = 3;
+  int and_fan = 2;
+  double user_access_fraction = 0.2;
+  int sp_threads = 1;
+  std::uint64_t seed = 20180610;  // SIGMOD'18 :)
+};
+
+inline Deployment Deploy(const DeployConfig& cfg) {
+  Deployment d;
+  d.policy_gen = std::make_unique<tpch::PolicyGen>(
+      cfg.num_policies, cfg.num_roles, cfg.or_fan, cfg.and_fan, cfg.seed);
+  tpch::TpchGen gen(cfg.tpch_scale, cfg.seed);
+  auto records = tpch::LineitemRecords(gen.Lineitem(), cfg.domain,
+                                       d.policy_gen->policies());
+  d.record_count = records.size();
+  d.owner = std::make_unique<core::DataOwner>(d.policy_gen->universe(),
+                                              cfg.domain, cfg.seed);
+  Timer t;
+  core::GridTree tree = d.owner->BuildAds(records);
+  d.build_sign_ms = t.ElapsedMs();
+  d.sp = std::make_unique<core::ServiceProvider>(d.owner->keys(),
+                                                 std::move(tree),
+                                                 cfg.sp_threads);
+  d.user_roles =
+      d.policy_gen->RolesForAccessFraction(cfg.user_access_fraction);
+  return d;
+}
+
+// Measured costs of one authenticated range query, averaged over
+// `queries` random Q6-shaped ranges of the given selectivity.
+struct QueryCosts {
+  double sp_ms = 0;
+  double user_ms = 0;
+  double vo_kb = 0;
+  double results = 0;
+};
+
+inline QueryCosts MeasureRange(Deployment& d, double selectivity, int queries,
+                               bool basic, std::uint64_t query_seed = 7) {
+  crypto::Rng rng(query_seed);
+  const core::SystemKeys& keys = d.owner->keys();
+  core::User user(keys, d.owner->EnrollUser(d.user_roles));
+  QueryCosts costs;
+  for (int q = 0; q < queries; ++q) {
+    core::Box range = tpch::RandomRangeQuery(keys.domain, selectivity, &rng);
+    Timer t;
+    core::Vo vo = basic ? d.sp->BasicRangeQuery(range, d.user_roles)
+                        : d.sp->RangeQuery(range, d.user_roles);
+    costs.sp_ms += t.ElapsedMs();
+    costs.vo_kb += static_cast<double>(vo.SerializedSize()) / 1024.0;
+    std::vector<core::Record> results;
+    t.Reset();
+    bool ok = user.VerifyRange(range, vo, &results, nullptr);
+    costs.user_ms += t.ElapsedMs();
+    if (!ok) {
+      std::fprintf(stderr, "BENCH BUG: VO failed verification\n");
+      std::abort();
+    }
+    costs.results += static_cast<double>(results.size());
+  }
+  costs.sp_ms /= queries;
+  costs.user_ms /= queries;
+  costs.vo_kb /= queries;
+  costs.results /= queries;
+  return costs;
+}
+
+inline void PrintHeader(const char* exhibit, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", exhibit, description);
+  std::printf("(reduced scale reproduction; see EXPERIMENTS.md for the\n");
+  std::printf(" paper-vs-measured shape comparison)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace apqa::bench
+
+#endif  // APQA_BENCH_BENCH_UTIL_H_

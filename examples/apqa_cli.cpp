@@ -1,0 +1,200 @@
+// apqa_cli — a scriptable command-line front end over the db:: facade.
+//
+// Reads commands from a script file (or runs the built-in demo with no
+// arguments). One command per line; '#' starts a comment:
+//
+//   roles <r1> <r2> ...                      define the role universe
+//   table <name> bits=<n> <attr:min:max>...  declare a table schema
+//   row <table> <v1,v2,..> <policy> <value>  stage a row
+//   build <table>                            sign + outsource the table
+//   enroll <user> <r1,r2,...>                create a verifying client
+//   range <user> <table> <lo,..> <hi,..>     authenticated range query
+//   eq <user> <table> <v1,..>                authenticated equality query
+//
+// Every query is verified client-side; the tool prints the verified rows
+// and the VO size.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "db/database.h"
+
+using namespace apqa;
+using namespace apqa::db;
+
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep = ' ') {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<double> ParseDoubles(const std::string& s) {
+  std::vector<double> out;
+  for (const auto& tok : Split(s, ',')) out.push_back(std::stod(tok));
+  return out;
+}
+
+const char* kDemoScript = R"(# Built-in demo: a hospital data mart.
+roles Doctor Nurse Researcher
+table vitals bits=4 heart_rate:30:220 temp:34:43
+row vitals 72,36.6 Doctor|Nurse ward-A/patient-1
+row vitals 95,38.2 Doctor ward-A/patient-2
+row vitals 120,39.5 (Doctor&Researcher)|Nurse icu/patient-3
+row vitals 61,36.1 Researcher cohort/anon-17
+build vitals
+enroll alice Nurse
+enroll bob Researcher
+range alice vitals 60,36 100,39
+range bob vitals 60,36 130,40
+eq alice vitals 95,38.2
+)";
+
+struct Cli {
+  std::unique_ptr<OwnerDatabase> owner;
+  std::unique_ptr<SpDatabase> sp;
+  std::map<std::string, TableSchema> schemas;
+  std::map<std::string, std::vector<Row>> staged;
+  std::map<std::string, std::unique_ptr<ClientSession>> clients;
+
+  int Run(std::istream& in) {
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      auto tokens = Split(line);
+      if (tokens.empty()) continue;
+      try {
+        if (!Dispatch(tokens)) {
+          std::fprintf(stderr, "line %d: unknown command '%s'\n", lineno,
+                       tokens[0].c_str());
+          return 1;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "line %d: %s\n", lineno, e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  bool Dispatch(const std::vector<std::string>& t) {
+    const std::string& cmd = t[0];
+    if (cmd == "roles") {
+      RoleSet universe(t.begin() + 1, t.end());
+      owner = std::make_unique<OwnerDatabase>(universe, /*seed=*/2018);
+      sp = std::make_unique<SpDatabase>(owner->keys());
+      std::printf("universe: %zu roles, keys generated\n", universe.size());
+      return true;
+    }
+    if (cmd == "table") {
+      int bits = 4;
+      std::vector<AttributeSpec> attrs;
+      for (std::size_t i = 2; i < t.size(); ++i) {
+        if (t[i].rfind("bits=", 0) == 0) {
+          bits = std::stoi(t[i].substr(5));
+          continue;
+        }
+        auto parts = Split(t[i], ':');
+        if (parts.size() != 3) throw std::invalid_argument("attr:min:max");
+        attrs.push_back({parts[0], std::stod(parts[1]), std::stod(parts[2])});
+      }
+      schemas.emplace(t[1], TableSchema(t[1], attrs, bits));
+      std::printf("table %s: %zu attrs, %d-bit grid\n", t[1].c_str(),
+                  attrs.size(), bits);
+      return true;
+    }
+    if (cmd == "row") {
+      Row row;
+      row.attrs = ParseDoubles(t[2]);
+      row.policy = t[3];
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        if (i > 4) row.value += ' ';
+        row.value += t[i];
+      }
+      staged[t[1]].push_back(std::move(row));
+      return true;
+    }
+    if (cmd == "build") {
+      owner->CreateTable(schemas.at(t[1]), staged[t[1]]);
+      auto bundle = owner->ExportTable(t[1]);
+      if (!sp->ImportTable(bundle)) throw std::runtime_error("import failed");
+      std::printf("built %s: %zu rows signed, ADS %.1f KB outsourced\n",
+                  t[1].c_str(), staged[t[1]].size(), bundle.size() / 1024.0);
+      return true;
+    }
+    if (cmd == "enroll") {
+      auto roles_list = Split(t[2], ',');
+      RoleSet roles(roles_list.begin(), roles_list.end());
+      clients[t[1]] = std::make_unique<ClientSession>(owner->keys(),
+                                                      owner->Enroll(roles));
+      std::printf("enrolled %s with {%s}\n", t[1].c_str(), t[2].c_str());
+      return true;
+    }
+    if (cmd == "range") {
+      auto& client = *clients.at(t[1]);
+      auto lo = ParseDoubles(t[3]), hi = ParseDoubles(t[4]);
+      core::Vo vo = sp->Range(t[2], lo, hi, client.roles());
+      std::vector<VerifiedRow> rows;
+      std::string error;
+      if (!client.VerifyRange(sp->GetSchema(t[2]), lo, hi, vo, &rows,
+                              &error)) {
+        throw std::runtime_error("VERIFICATION FAILED: " + error);
+      }
+      std::printf("%s range %s [%s..%s]: VERIFIED, %zu rows, VO %.1f KB\n",
+                  t[1].c_str(), t[2].c_str(), t[3].c_str(), t[4].c_str(),
+                  rows.size(), vo.SerializedSize() / 1024.0);
+      for (const auto& r : rows) {
+        std::printf("    %s\n", r.value.c_str());
+      }
+      return true;
+    }
+    if (cmd == "eq") {
+      auto& client = *clients.at(t[1]);
+      auto attrs = ParseDoubles(t[3]);
+      core::Vo vo = sp->Equality(t[2], attrs, client.roles());
+      std::optional<VerifiedRow> row;
+      std::string error;
+      if (!client.VerifyEquality(sp->GetSchema(t[2]), attrs, vo, &row,
+                                 &error)) {
+        throw std::runtime_error("VERIFICATION FAILED: " + error);
+      }
+      std::printf("%s eq %s (%s): VERIFIED, %s\n", t[1].c_str(), t[2].c_str(),
+                  t[3].c_str(),
+                  row.has_value() ? row->value.c_str()
+                                  : "inaccessible or absent");
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return cli.Run(f);
+  }
+  std::printf("(running built-in demo; pass a script file to customize)\n\n");
+  std::istringstream demo(kDemoScript);
+  return cli.Run(demo);
+}

@@ -1,0 +1,312 @@
+#include "abs/abs.h"
+
+#include "crypto/serde.h"
+#include "crypto/sha256.h"
+
+namespace apqa::abs {
+
+using crypto::HashToFr;
+using policy::BuildMsp;
+using policy::Msp;
+using policy::Purge;
+using policy::PurgeResult;
+using policy::SatisfyingVector;
+
+namespace {
+
+// mu = H(tau || msg) as an Fr scalar.
+Fr MessageScalar(const std::array<std::uint8_t, 32>& tau,
+                 const std::vector<std::uint8_t>& msg) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(tau.size() + msg.size());
+  buf.insert(buf.end(), tau.begin(), tau.end());
+  buf.insert(buf.end(), msg.begin(), msg.end());
+  return HashToFr(buf.data(), buf.size());
+}
+
+// C * g^mu, the message-binding base.
+G1 MessageBase(const VerifyKey& mvk, const Fr& mu) {
+  return mvk.c + mvk.g.ScalarMul(mu);
+}
+
+}  // namespace
+
+Fr RoleScalar(const std::string& role) {
+  std::string tagged = "apqa-role:" + role;
+  return HashToFr(tagged);
+}
+
+G2 VerifyKey::AttributeBase(const Fr& u) const {
+  return a + b.ScalarMul(u);
+}
+
+void VerifyKey::Serialize(common::ByteWriter* w) const {
+  crypto::WriteG1(w, g);
+  crypto::WriteG1(w, c);
+  crypto::WriteG2(w, h0);
+  crypto::WriteG2(w, h);
+  crypto::WriteG2(w, a0);
+  crypto::WriteG2(w, a);
+  crypto::WriteG2(w, b);
+}
+
+VerifyKey VerifyKey::Deserialize(common::ByteReader* r) {
+  VerifyKey k;
+  k.g = crypto::ReadG1(r);
+  k.c = crypto::ReadG1(r);
+  k.h0 = crypto::ReadG2(r);
+  k.h = crypto::ReadG2(r);
+  k.a0 = crypto::ReadG2(r);
+  k.a = crypto::ReadG2(r);
+  k.b = crypto::ReadG2(r);
+  return k;
+}
+
+bool SigningKey::Covers(const RoleSet& roles) const {
+  for (const auto& r : roles) {
+    if (k_attr.find(r) == k_attr.end()) return false;
+  }
+  return true;
+}
+
+void Signature::Serialize(common::ByteWriter* w_) const {
+  w_->PutBytes(tau.data(), tau.size());
+  crypto::WriteG1(w_, y);
+  crypto::WriteG1(w_, w);
+  w_->PutU32(static_cast<std::uint32_t>(s.size()));
+  for (const G1& e : s) crypto::WriteG1(w_, e);
+  w_->PutU32(static_cast<std::uint32_t>(p.size()));
+  for (const G2& e : p) crypto::WriteG2(w_, e);
+}
+
+Signature Signature::Deserialize(common::ByteReader* r) {
+  Signature sig;
+  r->Get(sig.tau.data(), sig.tau.size());
+  sig.y = crypto::ReadG1(r);
+  sig.w = crypto::ReadG1(r);
+  std::uint32_t ns = r->GetU32();
+  // A G1 element takes at least one byte on the wire; element counts beyond
+  // the remaining bytes are corrupt. Guards reserve() from hostile counts.
+  if (ns > r->Remaining()) {
+    r->MarkBad();
+    return sig;
+  }
+  sig.s.reserve(ns);
+  for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
+    sig.s.push_back(crypto::ReadG1(r));
+  }
+  std::uint32_t np = r->GetU32();
+  if (np > r->Remaining()) {
+    r->MarkBad();
+    return sig;
+  }
+  sig.p.reserve(np);
+  for (std::uint32_t i = 0; i < np && r->ok(); ++i) {
+    sig.p.push_back(crypto::ReadG2(r));
+  }
+  return sig;
+}
+
+std::size_t Signature::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+void Abs::Setup(Rng* rng, MasterKey* msk, VerifyKey* mvk) {
+  msk->a0 = rng->NextNonZeroFr();
+  msk->a = rng->NextNonZeroFr();
+  msk->b = rng->NextNonZeroFr();
+  mvk->g = crypto::G1Mul(rng->NextNonZeroFr());
+  mvk->c = crypto::G1Mul(rng->NextNonZeroFr());
+  mvk->h0 = crypto::G2Mul(rng->NextNonZeroFr());
+  mvk->h = crypto::G2Mul(rng->NextNonZeroFr());
+  mvk->a0 = mvk->h0.ScalarMul(msk->a0);
+  mvk->a = mvk->h.ScalarMul(msk->a);
+  mvk->b = mvk->h.ScalarMul(msk->b);
+}
+
+SigningKey Abs::KeyGen(const MasterKey& msk, const RoleSet& attrs, Rng* rng) {
+  SigningKey sk;
+  sk.k_base = crypto::G1Mul(rng->NextNonZeroFr());
+  sk.k0 = sk.k_base.ScalarMul(msk.a0.Inverse());
+  for (const auto& role : attrs) {
+    Fr u = RoleScalar(role);
+    Fr exp = (msk.a + msk.b * u).Inverse();
+    sk.k_attr[role] = sk.k_base.ScalarMul(exp);
+  }
+  return sk;
+}
+
+std::optional<Signature> Abs::Sign(const VerifyKey& mvk, const SigningKey& sk,
+                                   const std::vector<std::uint8_t>& msg,
+                                   const Policy& predicate, Rng* rng) {
+  Msp msp = BuildMsp(predicate);
+  RoleSet owned;
+  for (const auto& [role, key] : sk.k_attr) owned.insert(role);
+  auto v = SatisfyingVector(predicate, owned);
+  if (!v.has_value()) return std::nullopt;
+
+  Signature sig;
+  rng->Fill(sig.tau.data(), sig.tau.size());
+  Fr mu = MessageScalar(sig.tau, msg);
+  G1 cg = MessageBase(mvk, mu);
+
+  Fr r0 = rng->NextNonZeroFr();
+  sig.y = sk.k_base.ScalarMul(r0);
+  sig.w = sk.k0.ScalarMul(r0);
+
+  std::size_t rows = msp.Rows(), cols = msp.Cols();
+  std::vector<Fr> ri(rows);
+  for (auto& r : ri) r = rng->NextNonZeroFr();
+
+  sig.s.resize(rows);
+  std::vector<G2> ti(rows);  // (A * B^{u_i})^{r_i}
+  for (std::size_t i = 0; i < rows; ++i) {
+    G1 si = cg.ScalarMul(ri[i]);
+    if ((*v)[i] != 0) {
+      si = si + sk.k_attr.at(msp.row_labels[i]).ScalarMul(r0);
+    }
+    sig.s[i] = si;
+    ti[i] = mvk.AttributeBase(RoleScalar(msp.row_labels[i])).ScalarMul(ri[i]);
+  }
+
+  sig.p.assign(cols, G2::Infinity());
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (msp.m[i][j] == 1) {
+        sig.p[j] = sig.p[j] + ti[i];
+      } else if (msp.m[i][j] == -1) {
+        sig.p[j] = sig.p[j] - ti[i];
+      }
+    }
+  }
+  return sig;
+}
+
+bool Abs::Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
+                 const Policy& predicate, const Signature& sig, bool exact) {
+  Msp msp = BuildMsp(predicate);
+  std::size_t rows = msp.Rows(), cols = msp.Cols();
+  if (sig.s.size() != rows || sig.p.size() != cols) return false;
+  if (sig.y.IsInfinity()) return false;
+
+  Fr mu = MessageScalar(sig.tau, msg);
+  G1 cg = MessageBase(mvk, mu);
+
+  std::vector<G2> xi(rows);  // A * B^{u_i}
+  for (std::size_t i = 0; i < rows; ++i) {
+    xi[i] = mvk.AttributeBase(RoleScalar(msp.row_labels[i]));
+  }
+
+  if (exact) {
+    // e(W, A0) == e(Y, h0)
+    if (!crypto::MultiPairing({{sig.w, mvk.a0}, {-sig.y, mvk.h0}}).IsOne()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      std::vector<std::pair<G1, G2>> pairs;
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (msp.m[i][j] == 1) {
+          pairs.emplace_back(sig.s[i], xi[i]);
+        } else if (msp.m[i][j] == -1) {
+          pairs.emplace_back(-sig.s[i], xi[i]);
+        }
+      }
+      if (j == 0) pairs.emplace_back(-sig.y, mvk.h);
+      pairs.emplace_back(-cg, sig.p[j]);
+      if (!crypto::MultiPairing(pairs).IsOne()) return false;
+    }
+    return true;
+  }
+
+  // Batched verification: fold the W-equation (weight delta) and all t
+  // column equations (weights rho_j) into a single pairing product.
+  Rng rng;  // fresh OS-seeded randomness for the batching weights
+  Fr delta = rng.NextNonZeroFr();
+  std::vector<Fr> rho(cols);
+  for (auto& r : rho) r = rng.NextNonZeroFr();
+
+  std::vector<std::pair<G1, G2>> pairs;
+  pairs.reserve(rows + 4);
+  // sum_j rho_j * [column j equation]:
+  //   prod_i e(S_i, X_i)^{sum_j M_ij rho_j}
+  //     == e(Y, h)^{rho_0} * e(cg, sum_j rho_j P_j)
+  for (std::size_t i = 0; i < rows; ++i) {
+    Fr ci = Fr::Zero();
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (msp.m[i][j] == 1) {
+        ci = ci + rho[j];
+      } else if (msp.m[i][j] == -1) {
+        ci = ci - rho[j];
+      }
+    }
+    if (!ci.IsZero()) pairs.emplace_back(sig.s[i], xi[i].ScalarMul(ci));
+  }
+  G2 psum = G2::Infinity();
+  for (std::size_t j = 0; j < cols; ++j) {
+    psum = psum + sig.p[j].ScalarMul(rho[j]);
+  }
+  pairs.emplace_back(-sig.y.ScalarMul(rho[0]), mvk.h);
+  pairs.emplace_back(-cg, psum);
+  // delta * [e(W, A0) == e(Y, h0)]
+  pairs.emplace_back(sig.w.ScalarMul(delta), mvk.a0);
+  pairs.emplace_back(-sig.y.ScalarMul(delta), mvk.h0);
+  return crypto::MultiPairing(pairs).IsOne();
+}
+
+std::optional<Signature> Abs::Relax(const VerifyKey& mvk, const Signature& sig,
+                                    const Policy& predicate,
+                                    const std::vector<std::uint8_t>& msg,
+                                    const RoleSet& relax_to, Rng* rng) {
+  Msp msp = BuildMsp(predicate);
+  if (sig.s.size() != msp.Rows() || sig.p.size() != msp.Cols()) {
+    return std::nullopt;
+  }
+  // Step 1: purge attributes absent from relax_to.
+  PurgeResult purge = Purge(predicate, relax_to);
+  if (!purge.ok) return std::nullopt;
+
+  Fr mu = MessageScalar(sig.tau, msg);
+  G1 cg = MessageBase(mvk, mu);
+
+  G2 p1 = G2::Infinity();
+  for (std::size_t j : purge.kept_cols) p1 = p1 + sig.p[j];
+
+  // Step 2 (merge duplicates) + Step 3 (append missing attributes). The new
+  // predicate ∨_{a∈relax_to} a has one row per role, ordered like RoleSet
+  // (lexicographically) — the same order BuildMsp produces for
+  // Policy::OrOfRoles(relax_to).
+  Signature out;
+  out.tau = sig.tau;
+  out.y = sig.y;
+  out.w = sig.w;
+  out.s.reserve(relax_to.size());
+  for (const auto& role : relax_to) {
+    G1 merged = G1::Infinity();
+    bool found = false;
+    for (std::size_t k : purge.kept_rows) {
+      if (msp.row_labels[k] == role) {
+        merged = merged + sig.s[k];
+        found = true;
+      }
+    }
+    if (!found) {
+      Fr r = rng->NextNonZeroFr();
+      merged = cg.ScalarMul(r);
+      p1 = p1 + mvk.AttributeBase(RoleScalar(role)).ScalarMul(r);
+    }
+    out.s.push_back(merged);
+  }
+
+  // Step 4: re-randomize so the output is distributed like a fresh
+  // signature on the relaxed predicate.
+  Fr rho = rng->NextNonZeroFr();
+  out.y = out.y.ScalarMul(rho);
+  out.w = out.w.ScalarMul(rho);
+  for (G1& si : out.s) si = si.ScalarMul(rho);
+  out.p = {p1.ScalarMul(rho)};
+  return out;
+}
+
+}  // namespace apqa::abs

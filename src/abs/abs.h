@@ -1,0 +1,113 @@
+// Attribute-based signatures with predicate relaxation (paper §5.2).
+//
+// A variant of the Maji–Prabhakaran–Rosulek practical ABS instantiation in
+// which the service provider, holding only a signature, can *relax* its
+// claim-predicate Υ to a disjunction ∨_{a∈𝒜′} a — provided Υ(𝔸\𝒜′)=0 — and
+// re-randomize, yielding a signature distributed identically to a fresh one
+// (perfect privacy). This is the primitive behind APP → APS signature
+// derivation.
+//
+// Groups: 𝔾 = G1, ℍ = G2 of BLS12-381; messages are arbitrary byte strings.
+#ifndef APQA_ABS_ABS_H_
+#define APQA_ABS_ABS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "crypto/pairing.h"
+#include "crypto/rng.h"
+#include "policy/msp.h"
+#include "policy/policy.h"
+
+namespace apqa::abs {
+
+using crypto::Fr;
+using crypto::G1;
+using crypto::G2;
+using crypto::Rng;
+using policy::Policy;
+using policy::RoleSet;
+
+// Master verification key mvk = (g, h0, h, A0, A, B, C).
+struct VerifyKey {
+  G1 g, c;
+  G2 h0, h, a0, a, b;
+
+  void Serialize(common::ByteWriter* w) const;
+  static VerifyKey Deserialize(common::ByteReader* r);
+
+  // h^(a + b*u) for an attribute scalar u — the per-row base used by both
+  // signing and verification.
+  G2 AttributeBase(const Fr& u) const;
+};
+
+// Master signing key msk = (a0, a, b).
+struct MasterKey {
+  Fr a0, a, b;
+};
+
+// Per-attribute-set signing key.
+struct SigningKey {
+  G1 k_base;
+  G1 k0;
+  std::map<std::string, G1> k_attr;  // K_u = K_base^(1/(a+b*u)) by role name
+
+  bool Covers(const RoleSet& roles) const;
+};
+
+// Signature sigma = (tau, Y, W, S_1..S_l, P_1..P_t) on a claim-predicate
+// carried externally. Row labels of the predicate's span program order the
+// S_i components.
+struct Signature {
+  std::array<std::uint8_t, 32> tau;
+  G1 y, w;
+  std::vector<G1> s;
+  std::vector<G2> p;
+
+  void Serialize(common::ByteWriter* w_) const;
+  static Signature Deserialize(common::ByteReader* r);
+  std::size_t SerializedSize() const;
+};
+
+// Maps a role name to its attribute scalar (SHA-256 into Fr).
+Fr RoleScalar(const std::string& role);
+
+class Abs {
+ public:
+  // ABS.Setup.
+  static void Setup(Rng* rng, MasterKey* msk, VerifyKey* mvk);
+
+  // ABS.KeyGen: signing key able to sign for any predicate satisfied by
+  // `attrs`.
+  static SigningKey KeyGen(const MasterKey& msk, const RoleSet& attrs,
+                           Rng* rng);
+
+  // ABS.Sign: requires predicate(attrs of sk) = 1 (i.e. a satisfying vector
+  // exists over the attributes present in sk). Returns nullopt otherwise.
+  static std::optional<Signature> Sign(const VerifyKey& mvk,
+                                       const SigningKey& sk,
+                                       const std::vector<std::uint8_t>& msg,
+                                       const Policy& predicate, Rng* rng);
+
+  // ABS.Verify. `exact` checks every span-program column equation separately
+  // (slower); the default folds them with random weights into a single
+  // multi-pairing (standard batching, sound up to 2^-128).
+  static bool Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
+                     const Policy& predicate, const Signature& sig,
+                     bool exact = false);
+
+  // ABS.Relax (Algorithm 2): derives a signature on ∨_{a∈relax_to} a from a
+  // signature on `predicate`. Fails iff predicate(𝔸 \ relax_to) = 1.
+  static std::optional<Signature> Relax(const VerifyKey& mvk,
+                                        const Signature& sig,
+                                        const Policy& predicate,
+                                        const std::vector<std::uint8_t>& msg,
+                                        const RoleSet& relax_to, Rng* rng);
+};
+
+}  // namespace apqa::abs
+
+#endif  // APQA_ABS_ABS_H_

@@ -1,0 +1,101 @@
+// Minimal binary serialization used to materialize ADS entries and
+// verification objects (VOs). VO byte size is one of the paper's reported
+// metrics, so every protocol message in this library can be serialized.
+#ifndef APQA_COMMON_SERDE_H_
+#define APQA_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apqa::common {
+
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void PutBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : buf_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t n) : buf_(data), size_(n) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+  // Lets deserializers flag semantic errors (e.g. absurd element counts).
+  void MarkBad() { ok_ = false; }
+  std::size_t Remaining() const { return size_ - pos_; }
+
+  std::uint8_t GetU8() {
+    std::uint8_t v = 0;
+    Get(&v, 1);
+    return v;
+  }
+  std::uint32_t GetU32() {
+    std::uint8_t b[4] = {};
+    Get(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  std::uint64_t GetU64() {
+    std::uint8_t b[8] = {};
+    Get(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  void Get(void* out, std::size_t n) {
+    if (pos_ + n > size_) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, buf_ + pos_, n);
+    pos_ += n;
+  }
+  std::string GetString() {
+    std::uint32_t n = GetU32();
+    if (pos_ + n > size_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const std::uint8_t* buf_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace apqa::common
+
+#endif  // APQA_COMMON_SERDE_H_

@@ -1,0 +1,77 @@
+#include "core/app_signature.h"
+
+namespace apqa::core {
+
+using crypto::Sha256;
+
+std::vector<std::uint8_t> EncodeKey(const Point& key) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 * key.size());
+  for (std::uint32_t c : key) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(c >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeBox(const Box& box) {
+  std::vector<std::uint8_t> out = EncodeKey(box.lo);
+  std::vector<std::uint8_t> hi = EncodeKey(box.hi);
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+std::vector<std::uint8_t> RecordMessage(const Point& key,
+                                        const std::string& value) {
+  return RecordMessageFromHash(key,
+                               Sha256::Hash(value.data(), value.size()));
+}
+
+std::vector<std::uint8_t> RecordMessageFromHash(const Point& key,
+                                                const Digest& value_hash) {
+  std::vector<std::uint8_t> enc = EncodeKey(key);
+  Digest key_hash = Sha256::Hash(enc.data(), enc.size());
+  std::vector<std::uint8_t> msg(key_hash.begin(), key_hash.end());
+  msg.insert(msg.end(), value_hash.begin(), value_hash.end());
+  return msg;
+}
+
+std::vector<std::uint8_t> BoxMessage(const Box& box) {
+  std::vector<std::uint8_t> enc = EncodeBox(box);
+  Digest h = Sha256::Hash(enc.data(), enc.size());
+  return std::vector<std::uint8_t>(h.begin(), h.end());
+}
+
+policy::RoleSet SuperPolicyRoles(const policy::RoleSet& universe,
+                                 const policy::RoleSet& user_roles) {
+  policy::RoleSet lacked;
+  for (const auto& r : universe) {
+    if (!user_roles.count(r)) lacked.insert(r);
+  }
+  lacked.insert(kPseudoRole);
+  return lacked;
+}
+
+std::optional<Signature> SignRecord(const VerifyKey& mvk,
+                                    const SigningKey& sk_do,
+                                    const Record& record, Rng* rng) {
+  return Abs::Sign(mvk, sk_do, RecordMessage(record.key, record.value),
+                   record.policy, rng);
+}
+
+std::optional<Signature> SignBox(const VerifyKey& mvk, const SigningKey& sk_do,
+                                 const Box& box, const Policy& node_policy,
+                                 Rng* rng) {
+  return Abs::Sign(mvk, sk_do, BoxMessage(box), node_policy, rng);
+}
+
+std::optional<Signature> DeriveAps(const VerifyKey& mvk, const Signature& app,
+                                   const Policy& original_policy,
+                                   const std::vector<std::uint8_t>& message,
+                                   const policy::RoleSet& lacked_roles,
+                                   Rng* rng) {
+  return Abs::Relax(mvk, app, original_policy, message, lacked_roles, rng);
+}
+
+}  // namespace apqa::core

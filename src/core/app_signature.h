@@ -1,0 +1,68 @@
+// Access-policy-preserving (APP) and access-policy-stripped (APS)
+// signatures (Definitions 5.1 and 5.2).
+//
+// APP: σ = ABS.Sign(sk_DO, hash(o)|hash(v), Υ) for records, or
+//      ABS.Sign(sk_DO, hash(gb), p) for AP²G-tree nodes.
+// APS: the relaxation of an APP signature to the querying user's super
+//      access policy ∨_{a ∈ 𝔸\𝒜} a.
+#ifndef APQA_CORE_APP_SIGNATURE_H_
+#define APQA_CORE_APP_SIGNATURE_H_
+
+#include <optional>
+#include <vector>
+
+#include "abs/abs.h"
+#include "core/record.h"
+#include "crypto/sha256.h"
+
+namespace apqa::core {
+
+using abs::Abs;
+using abs::Signature;
+using abs::SigningKey;
+using abs::VerifyKey;
+using crypto::Digest;
+using crypto::Rng;
+
+// Canonical byte encoding of a query key (little-endian u32 per dimension).
+std::vector<std::uint8_t> EncodeKey(const Point& key);
+// Canonical byte encoding of a grid box (lo then hi).
+std::vector<std::uint8_t> EncodeBox(const Box& box);
+
+// hash(o) | hash(v) — the signed message of a record APP signature.
+std::vector<std::uint8_t> RecordMessage(const Point& key,
+                                        const std::string& value);
+// Same, from a precomputed value hash (the user of an APS signature only
+// learns hash(v), never v).
+std::vector<std::uint8_t> RecordMessageFromHash(const Point& key,
+                                                const Digest& value_hash);
+// hash(gb) — the signed message of a grid-node APP signature.
+std::vector<std::uint8_t> BoxMessage(const Box& box);
+
+// The super access policy for a user holding `user_roles` within `universe`:
+// the OR of every role the user lacks (always includes Role_∅).
+policy::RoleSet SuperPolicyRoles(const policy::RoleSet& universe,
+                                 const policy::RoleSet& user_roles);
+
+// Signs a record (APP signature). Pseudo records use policy Role_∅ and a
+// random value supplied by the caller.
+std::optional<Signature> SignRecord(const VerifyKey& mvk,
+                                    const SigningKey& sk_do,
+                                    const Record& record, Rng* rng);
+
+// Signs a grid node (APP signature over the grid box).
+std::optional<Signature> SignBox(const VerifyKey& mvk, const SigningKey& sk_do,
+                                 const Box& box, const Policy& node_policy,
+                                 Rng* rng);
+
+// Derives the APS signature for an inaccessible record/node with respect to
+// a user's super policy roles (𝔸 \ 𝒜).
+std::optional<Signature> DeriveAps(const VerifyKey& mvk, const Signature& app,
+                                   const Policy& original_policy,
+                                   const std::vector<std::uint8_t>& message,
+                                   const policy::RoleSet& lacked_roles,
+                                   Rng* rng);
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_APP_SIGNATURE_H_

@@ -1,0 +1,315 @@
+#include "core/continuous.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+void PutU64Bytes(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> GapMessage(const GapRegion& gap) {
+  std::vector<std::uint8_t> buf = {'g', 'a', 'p', ':'};
+  PutU64Bytes(&buf, gap.lo);
+  PutU64Bytes(&buf, gap.hi);
+  Digest d = crypto::Sha256::Hash(buf.data(), buf.size());
+  return std::vector<std::uint8_t>(d.begin(), d.end());
+}
+
+std::vector<std::uint8_t> ContinuousRecordMessage(std::uint64_t key,
+                                                  const std::string& value) {
+  return ContinuousRecordMessageFromHash(
+      key, crypto::Sha256::Hash(value.data(), value.size()));
+}
+
+std::vector<std::uint8_t> ContinuousRecordMessageFromHash(
+    std::uint64_t key, const Digest& value_hash) {
+  std::vector<std::uint8_t> kb;
+  PutU64Bytes(&kb, key);
+  Digest kh = crypto::Sha256::Hash(kb.data(), kb.size());
+  std::vector<std::uint8_t> msg(kh.begin(), kh.end());
+  msg.insert(msg.end(), value_hash.begin(), value_hash.end());
+  return msg;
+}
+
+ContinuousAds ContinuousAds::Build(const VerifyKey& mvk,
+                                   const SigningKey& sk_do,
+                                   std::vector<ContinuousRecord> records,
+                                   Rng* rng) {
+  std::sort(records.begin(), records.end(),
+            [](const ContinuousRecord& a, const ContinuousRecord& b) {
+              return a.key < b.key;
+            });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].key == 0 || records[i].key == UINT64_MAX) {
+      throw std::invalid_argument("continuous key out of range");
+    }
+    if (i > 0 && records[i].key == records[i - 1].key) {
+      throw std::invalid_argument(
+          "duplicate continuous keys; see core/duplicates.h");
+    }
+  }
+
+  ContinuousAds ads;
+  Policy pseudo = Policy::Var(kPseudoRole);
+  std::uint64_t prev = 0;  // -inf sentinel
+  for (const ContinuousRecord& r : records) {
+    GapRegion gap{prev, r.key};
+    auto gap_sig = abs::Abs::Sign(mvk, sk_do, GapMessage(gap), pseudo, rng);
+    ads.gaps_.push_back(SignedGap{gap, std::move(*gap_sig)});
+    auto rec_sig = abs::Abs::Sign(
+        mvk, sk_do, ContinuousRecordMessage(r.key, r.value), r.policy, rng);
+    if (!rec_sig.has_value()) {
+      throw std::logic_error("DO key does not cover record policy");
+    }
+    ads.records_.push_back(SignedRecord{r, std::move(*rec_sig)});
+    prev = r.key;
+  }
+  GapRegion last{prev, UINT64_MAX};
+  auto gap_sig = abs::Abs::Sign(mvk, sk_do, GapMessage(last), pseudo, rng);
+  ads.gaps_.push_back(SignedGap{last, std::move(*gap_sig)});
+  return ads;
+}
+
+std::size_t ContinuousAds::SerializedSizeBytes() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    n += 8 + r.record.value.size() + r.record.policy.ToString().size() +
+         r.sig.SerializedSize();
+  }
+  for (const auto& g : gaps_) n += 16 + g.sig.SerializedSize();
+  return n;
+}
+
+ContinuousVo BuildContinuousRangeVo(const ContinuousAds& ads,
+                                    const VerifyKey& mvk, std::uint64_t alpha,
+                                    std::uint64_t beta,
+                                    const RoleSet& user_roles,
+                                    const RoleSet& universe, Rng* rng) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  ContinuousVo vo;
+  for (const auto& sr : ads.records()) {
+    if (sr.record.key < alpha || sr.record.key > beta) continue;
+    if (sr.record.policy.Evaluate(user_roles)) {
+      vo.results.push_back(ContinuousVo::ResultEntry{
+          sr.record.key, sr.record.value, sr.record.policy, sr.sig});
+    } else {
+      Digest vh = crypto::Sha256::Hash(sr.record.value.data(),
+                                       sr.record.value.size());
+      auto msg = ContinuousRecordMessageFromHash(sr.record.key, vh);
+      auto aps = abs::Abs::Relax(mvk, sr.sig, sr.record.policy, msg, lacked,
+                                 rng);
+      vo.inaccessible.push_back(
+          ContinuousVo::InaccessibleEntry{sr.record.key, vh, std::move(*aps)});
+    }
+  }
+  Policy pseudo = Policy::Var(kPseudoRole);
+  for (const auto& sg : ads.gaps()) {
+    // Open interval (lo, hi) covers keys lo+1 .. hi-1; adjacent keys leave
+    // an empty gap that covers nothing. Include a gap iff it is non-empty
+    // and hi-1 >= alpha and lo+1 <= beta.
+    if (sg.gap.hi - sg.gap.lo < 2) continue;
+    if (sg.gap.hi <= alpha || sg.gap.lo >= beta) continue;
+    auto aps =
+        abs::Abs::Relax(mvk, sg.sig, pseudo, GapMessage(sg.gap), lacked, rng);
+    vo.gaps.push_back(ContinuousVo::GapEntry{sg.gap, std::move(*aps)});
+  }
+  return vo;
+}
+
+std::size_t ContinuousVo::SerializedSize() const {
+  std::size_t n = 0;
+  for (const auto& e : results) {
+    n += 8 + e.value.size() + e.policy.ToString().size() +
+         e.app_sig.SerializedSize();
+  }
+  for (const auto& e : inaccessible) n += 40 + e.aps_sig.SerializedSize();
+  for (const auto& e : gaps) n += 16 + e.aps_sig.SerializedSize();
+  return n;
+}
+
+bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
+                             std::uint64_t beta, const RoleSet& user_roles,
+                             const RoleSet& universe, const ContinuousVo& vo,
+                             std::vector<ContinuousRecord>* results,
+                             std::string* error) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+
+  // Coverage: points and clipped open gaps must tile [alpha, beta].
+  struct Interval {
+    std::uint64_t lo, hi;
+  };
+  std::vector<Interval> intervals;
+  for (const auto& e : vo.results) {
+    if (e.key < alpha || e.key > beta) {
+      SetError(error, "result key outside range");
+      return false;
+    }
+    intervals.push_back({e.key, e.key});
+  }
+  for (const auto& e : vo.inaccessible) {
+    if (e.key < alpha || e.key > beta) {
+      SetError(error, "inaccessible key outside range");
+      return false;
+    }
+    intervals.push_back({e.key, e.key});
+  }
+  for (const auto& e : vo.gaps) {
+    if (e.gap.hi <= e.gap.lo || e.gap.hi - e.gap.lo < 2) {
+      SetError(error, "degenerate gap");
+      return false;
+    }
+    std::uint64_t lo = std::max(e.gap.lo + 1, alpha);
+    std::uint64_t hi = std::min(e.gap.hi - 1, beta);
+    if (lo > hi) {
+      SetError(error, "gap outside range");
+      return false;
+    }
+    intervals.push_back({lo, hi});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::uint64_t next = alpha;
+  for (const auto& iv : intervals) {
+    if (iv.lo != next) {
+      SetError(error, "coverage hole or overlap");
+      return false;
+    }
+    next = iv.hi + 1;
+  }
+  if (next != beta + 1) {
+    SetError(error, "range not fully covered");
+    return false;
+  }
+
+  for (const auto& e : vo.results) {
+    if (!e.policy.Evaluate(user_roles)) {
+      SetError(error, "result policy not satisfied");
+      return false;
+    }
+    if (!abs::Abs::Verify(mvk, ContinuousRecordMessage(e.key, e.value),
+                          e.policy, e.app_sig)) {
+      SetError(error, "record APP signature verification failed");
+      return false;
+    }
+    if (results != nullptr) {
+      results->push_back(ContinuousRecord{e.key, e.value, e.policy});
+    }
+  }
+  for (const auto& e : vo.inaccessible) {
+    auto msg = ContinuousRecordMessageFromHash(e.key, e.value_hash);
+    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
+      SetError(error, "record APS signature verification failed");
+      return false;
+    }
+  }
+  for (const auto& e : vo.gaps) {
+    if (!abs::Abs::Verify(mvk, GapMessage(e.gap), super_policy, e.aps_sig)) {
+      SetError(error, "gap APS signature verification failed");
+      return false;
+    }
+  }
+  return true;
+}
+
+ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
+                                       const VerifyKey& mvk, std::uint64_t key,
+                                       const RoleSet& user_roles,
+                                       const RoleSet& universe, Rng* rng) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  ContinuousVo vo;
+  for (const auto& sr : ads.records()) {
+    if (sr.record.key != key) continue;
+    if (sr.record.policy.Evaluate(user_roles)) {
+      vo.results.push_back(ContinuousVo::ResultEntry{
+          sr.record.key, sr.record.value, sr.record.policy, sr.sig});
+    } else {
+      Digest vh = crypto::Sha256::Hash(sr.record.value.data(),
+                                       sr.record.value.size());
+      auto msg = ContinuousRecordMessageFromHash(sr.record.key, vh);
+      auto aps =
+          abs::Abs::Relax(mvk, sr.sig, sr.record.policy, msg, lacked, rng);
+      vo.inaccessible.push_back(
+          ContinuousVo::InaccessibleEntry{sr.record.key, vh, std::move(*aps)});
+    }
+    return vo;
+  }
+  Policy pseudo = Policy::Var(kPseudoRole);
+  for (const auto& sg : ads.gaps()) {
+    if (sg.gap.lo < key && key < sg.gap.hi) {
+      auto aps =
+          abs::Abs::Relax(mvk, sg.sig, pseudo, GapMessage(sg.gap), lacked, rng);
+      vo.gaps.push_back(ContinuousVo::GapEntry{sg.gap, std::move(*aps)});
+      return vo;
+    }
+  }
+  return vo;  // key coincides with a sentinel; empty VO will fail verification
+}
+
+bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
+                                const RoleSet& user_roles,
+                                const RoleSet& universe, const ContinuousVo& vo,
+                                std::optional<ContinuousRecord>* result,
+                                std::string* error) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+  std::size_t total = vo.results.size() + vo.inaccessible.size() +
+                      vo.gaps.size();
+  if (total != 1) {
+    SetError(error, "equality VO must contain exactly one entry");
+    return false;
+  }
+  if (!vo.results.empty()) {
+    const auto& e = vo.results[0];
+    if (e.key != key || !e.policy.Evaluate(user_roles)) {
+      SetError(error, "result key/policy mismatch");
+      return false;
+    }
+    if (!abs::Abs::Verify(mvk, ContinuousRecordMessage(e.key, e.value),
+                          e.policy, e.app_sig)) {
+      SetError(error, "APP signature verification failed");
+      return false;
+    }
+    if (result != nullptr) *result = ContinuousRecord{e.key, e.value, e.policy};
+    return true;
+  }
+  if (!vo.inaccessible.empty()) {
+    const auto& e = vo.inaccessible[0];
+    if (e.key != key) {
+      SetError(error, "inaccessible key mismatch");
+      return false;
+    }
+    auto msg = ContinuousRecordMessageFromHash(e.key, e.value_hash);
+    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
+      SetError(error, "APS signature verification failed");
+      return false;
+    }
+    if (result != nullptr) result->reset();
+    return true;
+  }
+  const auto& e = vo.gaps[0];
+  if (!(e.gap.lo < key && key < e.gap.hi)) {
+    SetError(error, "gap does not contain query key");
+    return false;
+  }
+  if (!abs::Abs::Verify(mvk, GapMessage(e.gap), super_policy, e.aps_sig)) {
+    SetError(error, "gap APS signature verification failed");
+    return false;
+  }
+  if (result != nullptr) result->reset();
+  return true;
+}
+
+}  // namespace apqa::core

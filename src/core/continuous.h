@@ -1,0 +1,120 @@
+// Continuous query attributes under the relaxed (access-policy
+// confidentiality) model (paper §9.2).
+//
+// Instead of one pseudo record per discrete key, the DO signs pseudo
+// *regions* with policy Role_∅ for the gaps between consecutive keys:
+// (-∞, o₁), (o₁, o₂), …, (o_n, +∞). An equality or range query is answered
+// with the matching records plus APS signatures for the intersecting gap
+// regions. This discloses the key distribution (acceptable once
+// zero-knowledge is relaxed) but makes the ADS size proportional to the
+// data instead of the domain.
+#ifndef APQA_CORE_CONTINUOUS_H_
+#define APQA_CORE_CONTINUOUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/app_signature.h"
+#include "core/record.h"
+
+namespace apqa::core {
+
+struct ContinuousRecord {
+  std::uint64_t key = 0;  // continuous attribute (must be in (0, 2^64-1))
+  std::string value;
+  Policy policy;
+};
+
+// An open interval (lo, hi) known to contain no records. lo == 0 encodes -∞
+// and hi == UINT64_MAX encodes +∞.
+struct GapRegion {
+  std::uint64_t lo = 0, hi = 0;
+};
+
+std::vector<std::uint8_t> GapMessage(const GapRegion& gap);
+std::vector<std::uint8_t> ContinuousRecordMessage(std::uint64_t key,
+                                                  const std::string& value);
+std::vector<std::uint8_t> ContinuousRecordMessageFromHash(
+    std::uint64_t key, const Digest& value_hash);
+
+class ContinuousAds {
+ public:
+  struct SignedRecord {
+    ContinuousRecord record;
+    Signature sig;
+  };
+  struct SignedGap {
+    GapRegion gap;
+    Signature sig;  // policy Role_∅
+  };
+
+  // Records must have distinct keys in (0, UINT64_MAX); sorted internally.
+  static ContinuousAds Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                             std::vector<ContinuousRecord> records, Rng* rng);
+
+  const std::vector<SignedRecord>& records() const { return records_; }
+  const std::vector<SignedGap>& gaps() const { return gaps_; }
+  std::size_t SerializedSizeBytes() const;
+
+ private:
+  std::vector<SignedRecord> records_;
+  std::vector<SignedGap> gaps_;
+};
+
+// VO for continuous range queries.
+struct ContinuousVo {
+  struct ResultEntry {
+    std::uint64_t key;
+    std::string value;
+    Policy policy;
+    Signature app_sig;
+  };
+  struct InaccessibleEntry {
+    std::uint64_t key;
+    Digest value_hash;
+    Signature aps_sig;
+  };
+  struct GapEntry {
+    GapRegion gap;
+    Signature aps_sig;
+  };
+  std::vector<ResultEntry> results;
+  std::vector<InaccessibleEntry> inaccessible;
+  std::vector<GapEntry> gaps;
+
+  std::size_t SerializedSize() const;
+};
+
+// SP side: range [alpha, beta] (inclusive).
+ContinuousVo BuildContinuousRangeVo(const ContinuousAds& ads,
+                                    const VerifyKey& mvk, std::uint64_t alpha,
+                                    std::uint64_t beta,
+                                    const RoleSet& user_roles,
+                                    const RoleSet& universe, Rng* rng);
+
+// User side: soundness + completeness (the points and open gaps must tile
+// [alpha, beta] exactly).
+bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
+                             std::uint64_t beta, const RoleSet& user_roles,
+                             const RoleSet& universe, const ContinuousVo& vo,
+                             std::vector<ContinuousRecord>* results,
+                             std::string* error);
+
+// SP side: equality query. Either one record entry (result/inaccessible) or
+// one gap entry proving absence.
+ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
+                                       const VerifyKey& mvk, std::uint64_t key,
+                                       const RoleSet& user_roles,
+                                       const RoleSet& universe, Rng* rng);
+
+bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
+                                const RoleSet& user_roles,
+                                const RoleSet& universe, const ContinuousVo& vo,
+                                std::optional<ContinuousRecord>* result,
+                                std::string* error);
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_CONTINUOUS_H_

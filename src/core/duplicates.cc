@@ -1,0 +1,413 @@
+#include "core/duplicates.h"
+
+#include "core/range_query.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+void PutU32Bytes(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::vector<Record> MergeSuperRecords(const std::vector<Record>& records) {
+  // Group by (key, canonical policy text).
+  std::map<std::pair<Point, std::string>, std::vector<const Record*>> groups;
+  for (const Record& r : records) {
+    groups[{r.key, r.policy.ToString()}].push_back(&r);
+  }
+  std::vector<Record> merged;
+  merged.reserve(groups.size());
+  for (auto& [group_key, members] : groups) {
+    Record super;
+    super.key = members[0]->key;
+    super.policy = members[0]->policy;
+    for (const Record* m : members) {
+      // Length-prefixed concatenation keeps member boundaries recoverable.
+      std::uint32_t n = static_cast<std::uint32_t>(m->value.size());
+      for (int i = 0; i < 4; ++i) {
+        super.value.push_back(static_cast<char>(n >> (8 * i)));
+      }
+      super.value += m->value;
+    }
+    merged.push_back(std::move(super));
+  }
+  return merged;
+}
+
+VirtualDimResult AddVirtualDimension(const Domain& domain,
+                                     const std::vector<Record>& records,
+                                     int vdim_bits, Rng* rng) {
+  VirtualDimResult out;
+  out.extended_domain = domain;
+  out.extended_domain.dims = domain.dims + 1;
+  // All dimensions of a Domain share one bit width; the virtual dimension
+  // uses the same grid resolution, so vdim_bits must not exceed it.
+  if (vdim_bits > domain.bits) {
+    throw std::invalid_argument("vdim_bits exceeds domain bits");
+  }
+  std::uint32_t vdim_size = std::uint32_t{1} << vdim_bits;
+
+  std::map<Point, std::vector<const Record*>> by_key;
+  for (const Record& r : records) by_key[r.key].push_back(&r);
+  for (auto& [key, members] : by_key) {
+    if (members.size() > vdim_size) {
+      throw std::invalid_argument("more duplicates than virtual coordinates");
+    }
+    // Distinct random virtual coordinates.
+    std::set<std::uint32_t> used;
+    for (const Record* m : members) {
+      std::uint32_t v;
+      do {
+        v = static_cast<std::uint32_t>(rng->NextU64()) % vdim_size;
+      } while (!used.insert(v).second);
+      Record r = *m;
+      r.key.push_back(v);
+      out.records.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Box ExtendRangeToVirtualDim(const Box& range, const Domain& extended_domain) {
+  Box out = range;
+  out.lo.push_back(0);
+  out.hi.push_back(extended_domain.SideLength() - 1);
+  return out;
+}
+
+std::vector<std::uint8_t> DupRecordMessage(const Point& key,
+                                           const std::string& value,
+                                           std::uint32_t dup_num,
+                                           std::uint32_t dup_id) {
+  return DupRecordMessageFromHash(
+      key, crypto::Sha256::Hash(value.data(), value.size()), dup_num, dup_id);
+}
+
+std::vector<std::uint8_t> DupRecordMessageFromHash(const Point& key,
+                                                   const Digest& value_hash,
+                                                   std::uint32_t dup_num,
+                                                   std::uint32_t dup_id) {
+  std::vector<std::uint8_t> msg = RecordMessageFromHash(key, value_hash);
+  PutU32Bytes(&msg, dup_num);
+  PutU32Bytes(&msg, dup_id);
+  return msg;
+}
+
+std::vector<std::uint32_t> DupGridTree::Coords(NodeId id) const {
+  std::vector<std::uint32_t> c(domain_.dims);
+  std::uint64_t side = std::uint64_t{1} << id.level;
+  std::uint64_t idx = id.index;
+  for (int d = domain_.dims - 1; d >= 0; --d) {
+    c[d] = static_cast<std::uint32_t>(idx % side);
+    idx /= side;
+  }
+  return c;
+}
+
+std::uint64_t DupGridTree::IndexOf(int level,
+                                   const std::vector<std::uint32_t>& c) const {
+  std::uint64_t side = std::uint64_t{1} << level;
+  std::uint64_t idx = 0;
+  for (int d = 0; d < domain_.dims; ++d) idx = idx * side + c[d];
+  return idx;
+}
+
+std::vector<DupGridTree::NodeId> DupGridTree::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  if (IsLeafLevel(id)) return out;
+  std::vector<std::uint32_t> c = Coords(id);
+  int n = 1 << domain_.dims;
+  for (int mask = 0; mask < n; ++mask) {
+    std::vector<std::uint32_t> cc(domain_.dims);
+    for (int d = 0; d < domain_.dims; ++d) cc[d] = 2 * c[d] + ((mask >> d) & 1);
+    out.push_back(NodeId{id.level + 1, IndexOf(id.level + 1, cc)});
+  }
+  return out;
+}
+
+DupGridTree DupGridTree::Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                               const Domain& domain,
+                               const std::vector<Record>& records, Rng* rng) {
+  DupGridTree tree;
+  tree.domain_ = domain;
+  tree.levels_.resize(domain.bits + 1);
+
+  std::map<Point, std::vector<const Record*>> by_key;
+  for (const Record& r : records) {
+    if (!domain.ContainsPoint(r.key)) {
+      throw std::invalid_argument("record key outside domain");
+    }
+    by_key[r.key].push_back(&r);
+  }
+
+  int bits = domain.bits;
+  std::uint64_t leaf_count = domain.CellCount();
+  auto& leaves = tree.levels_[bits];
+  leaves.resize(leaf_count);
+  Policy pseudo = Policy::Var(kPseudoRole);
+  for (std::uint64_t i = 0; i < leaf_count; ++i) {
+    Node& node = leaves[i];
+    node.is_leaf = true;
+    auto c = tree.Coords(NodeId{bits, i});
+    node.box = Box{Point(c.begin(), c.end()), Point(c.begin(), c.end())};
+    auto it = by_key.find(node.box.lo);
+    std::uint32_t dup_num = 0;
+    if (it == by_key.end()) {
+      node.is_pseudo = true;
+      DupEntry e;
+      e.record.key = node.box.lo;
+      auto bytes = rng->Bytes(16);
+      e.record.value.assign(bytes.begin(), bytes.end());
+      e.record.policy = pseudo;
+      e.dup_id = 0;
+      node.dups.push_back(std::move(e));
+      dup_num = 1;
+      node.policy = pseudo;
+    } else {
+      dup_num = static_cast<std::uint32_t>(it->second.size());
+      bool first = true;
+      for (std::uint32_t d = 0; d < dup_num; ++d) {
+        DupEntry e;
+        e.record = *it->second[d];
+        e.dup_id = d;
+        node.dups.push_back(std::move(e));
+        node.policy = first ? it->second[d]->policy.ToDnf()
+                            : policy::OrCombineDnf(node.policy,
+                                                   it->second[d]->policy);
+        first = false;
+      }
+    }
+    for (DupEntry& e : node.dups) {
+      auto sig = abs::Abs::Sign(
+          mvk, sk_do,
+          DupRecordMessage(e.record.key, e.record.value, dup_num, e.dup_id),
+          e.record.policy, rng);
+      if (!sig.has_value()) {
+        throw std::logic_error("DO key does not cover record policy");
+      }
+      e.sig = std::move(*sig);
+    }
+  }
+
+  for (int level = bits - 1; level >= 0; --level) {
+    std::uint64_t count = 1;
+    for (int d = 0; d < domain.dims; ++d) count *= std::uint64_t{1} << level;
+    auto& nodes = tree.levels_[level];
+    nodes.resize(count);
+    std::uint32_t cell_side = std::uint32_t{1} << (bits - level);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Node& node = nodes[i];
+      NodeId id{level, i};
+      auto c = tree.Coords(id);
+      node.box.lo.resize(domain.dims);
+      node.box.hi.resize(domain.dims);
+      for (int d = 0; d < domain.dims; ++d) {
+        node.box.lo[d] = c[d] * cell_side;
+        node.box.hi[d] = node.box.lo[d] + cell_side - 1;
+      }
+      bool first = true;
+      for (NodeId child : tree.Children(id)) {
+        const Policy& cp = tree.GetNode(child).policy;
+        node.policy =
+            first ? cp.ToDnf() : policy::OrCombineDnf(node.policy, cp);
+        first = false;
+      }
+      auto sig =
+          abs::Abs::Sign(mvk, sk_do, BoxMessage(node.box), node.policy, rng);
+      node.sig = std::move(*sig);
+    }
+  }
+  return tree;
+}
+
+void DupGridTree::SerializedSize(std::size_t* structure_bytes,
+                                 std::size_t* signature_bytes) const {
+  std::size_t structure = 0, sigs = 0;
+  for (const auto& level : levels_) {
+    for (const Node& node : level) {
+      structure += 8 * node.box.lo.size() + node.policy.ToString().size();
+      if (node.is_leaf) {
+        for (const auto& e : node.dups) {
+          structure += e.record.value.size() + 8;
+          sigs += e.sig.SerializedSize();
+        }
+      } else {
+        sigs += node.sig.SerializedSize();
+      }
+    }
+  }
+  *structure_bytes = structure;
+  *signature_bytes = sigs;
+}
+
+DupVo BuildDupRangeVo(const DupGridTree& tree, const VerifyKey& mvk,
+                      const Box& range, const RoleSet& user_roles,
+                      const RoleSet& universe, Rng* rng) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  DupVo vo;
+  std::deque<DupGridTree::NodeId> queue{tree.Root()};
+  while (!queue.empty()) {
+    DupGridTree::NodeId id = queue.front();
+    queue.pop_front();
+    const DupGridTree::Node& node = tree.GetNode(id);
+    if (!node.box.Intersects(range)) continue;
+    if (!range.ContainsBox(node.box)) {
+      for (auto c : tree.Children(id)) queue.push_back(c);
+      continue;
+    }
+    if (!node.policy.Evaluate(user_roles)) {
+      if (node.is_leaf) {
+        // Whole duplicate group inaccessible: one APS per member (the
+        // member count dup_num is disclosed — non-ZK by design).
+        std::uint32_t dup_num = static_cast<std::uint32_t>(node.dups.size());
+        for (const auto& e : node.dups) {
+          Digest vh = crypto::Sha256::Hash(e.record.value.data(),
+                                           e.record.value.size());
+          auto msg =
+              DupRecordMessageFromHash(e.record.key, vh, dup_num, e.dup_id);
+          auto aps =
+              abs::Abs::Relax(mvk, e.sig, e.record.policy, msg, lacked, rng);
+          vo.inaccessible.push_back(DupVo::DupInaccessibleEntry{
+              e.record.key, vh, dup_num, e.dup_id, std::move(*aps)});
+        }
+      } else {
+        auto aps = abs::Abs::Relax(mvk, node.sig, node.policy,
+                                   BoxMessage(node.box), lacked, rng);
+        vo.boxes.push_back(InaccessibleBoxEntry{node.box, std::move(*aps)});
+      }
+      continue;
+    }
+    if (!node.is_leaf) {
+      for (auto c : tree.Children(id)) queue.push_back(c);
+      continue;
+    }
+    // Accessible leaf: emit each duplicate individually.
+    std::uint32_t dup_num = static_cast<std::uint32_t>(node.dups.size());
+    for (const auto& e : node.dups) {
+      if (e.record.policy.Evaluate(user_roles)) {
+        vo.results.push_back(DupVo::DupResultEntry{e.record.key,
+                                                   e.record.value,
+                                                   e.record.policy, dup_num,
+                                                   e.dup_id, e.sig});
+      } else {
+        Digest vh = crypto::Sha256::Hash(e.record.value.data(),
+                                         e.record.value.size());
+        auto msg =
+            DupRecordMessageFromHash(e.record.key, vh, dup_num, e.dup_id);
+        auto aps =
+            abs::Abs::Relax(mvk, e.sig, e.record.policy, msg, lacked, rng);
+        vo.inaccessible.push_back(DupVo::DupInaccessibleEntry{
+            e.record.key, vh, dup_num, e.dup_id, std::move(*aps)});
+      }
+    }
+  }
+  return vo;
+}
+
+std::size_t DupVo::SerializedSize() const {
+  std::size_t n = 0;
+  for (const auto& e : results) {
+    n += 4 * e.key.size() + e.value.size() + e.policy.ToString().size() + 8 +
+         e.app_sig.SerializedSize();
+  }
+  for (const auto& e : inaccessible) {
+    n += 4 * e.key.size() + 32 + 8 + e.aps_sig.SerializedSize();
+  }
+  for (const auto& e : boxes) {
+    n += 8 * e.box.lo.size() + e.aps_sig.SerializedSize();
+  }
+  return n;
+}
+
+bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
+                      const Box& range, const RoleSet& user_roles,
+                      const RoleSet& universe, const DupVo& vo,
+                      std::vector<Record>* results, std::string* error) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+
+  // Group per-record entries by key: each covered key must present dup_ids
+  // 0..dup_num-1 exactly once with a consistent dup_num.
+  struct KeyGroup {
+    std::uint32_t dup_num = 0;
+    std::set<std::uint32_t> ids;
+  };
+  std::map<Point, KeyGroup> groups;
+  auto account = [&](const Point& key, std::uint32_t dup_num,
+                     std::uint32_t dup_id) -> bool {
+    if (!domain.ContainsPoint(key) || !range.Contains(key)) return false;
+    KeyGroup& g = groups[key];
+    if (g.dup_num == 0) g.dup_num = dup_num;
+    if (g.dup_num != dup_num || dup_id >= dup_num) return false;
+    return g.ids.insert(dup_id).second;
+  };
+
+  for (const auto& e : vo.results) {
+    if (!account(e.key, e.dup_num, e.dup_id)) {
+      SetError(error, "inconsistent duplicate bookkeeping (result)");
+      return false;
+    }
+    if (!e.policy.Evaluate(user_roles)) {
+      SetError(error, "result policy not satisfied");
+      return false;
+    }
+    auto msg = DupRecordMessage(e.key, e.value, e.dup_num, e.dup_id);
+    if (!abs::Abs::Verify(mvk, msg, e.policy, e.app_sig)) {
+      SetError(error, "dup APP signature verification failed");
+      return false;
+    }
+    if (results != nullptr) results->push_back(Record{e.key, e.value, e.policy});
+  }
+  for (const auto& e : vo.inaccessible) {
+    if (!account(e.key, e.dup_num, e.dup_id)) {
+      SetError(error, "inconsistent duplicate bookkeeping (inaccessible)");
+      return false;
+    }
+    auto msg = DupRecordMessageFromHash(e.key, e.value_hash, e.dup_num,
+                                        e.dup_id);
+    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
+      SetError(error, "dup APS signature verification failed");
+      return false;
+    }
+  }
+  // Every key group must be complete.
+  for (const auto& [key, g] : groups) {
+    if (g.ids.size() != g.dup_num) {
+      SetError(error, "missing duplicates for a key");
+      return false;
+    }
+  }
+
+  // Coverage: key cells + boxes tile the range.
+  Vo coverage;
+  for (const auto& [key, g] : groups) {
+    (void)g;
+    coverage.entries.push_back(InaccessibleRecordEntry{key, Digest{}, {}});
+  }
+  for (const auto& e : vo.boxes) coverage.entries.push_back(e);
+  if (!CheckCoverage(range, coverage, error)) return false;
+
+  for (const auto& e : vo.boxes) {
+    if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
+      SetError(error, "dup box APS signature verification failed");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace apqa::core

@@ -1,0 +1,133 @@
+// Handling duplicate query keys (paper Appendix E).
+//
+// Zero-knowledge approach: records sharing a key and a policy are merged
+// into a super-record, then a *virtual dimension* is appended to the key so
+// all transformed keys are distinct; the standard AP²G-tree machinery runs
+// over the extended domain, and query ranges are extended to cover the whole
+// virtual dimension.
+//
+// Non-zero-knowledge approach: duplicate counts are embedded in the APP
+// signature messages (hash(o)|hash(v)|dup_num|dup_id). The ADS is a grid
+// tree whose leaves hold the duplicate group; the verifier checks that all
+// dup_ids 0..dup_num-1 of every covered key are present.
+#ifndef APQA_CORE_DUPLICATES_H_
+#define APQA_CORE_DUPLICATES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/app_signature.h"
+#include "core/record.h"
+#include "core/vo.h"
+
+namespace apqa::core {
+
+// --- Zero-knowledge path -------------------------------------------------
+
+// Merges records sharing (key, policy) into super-records whose value is a
+// length-prefixed concatenation of the member values.
+std::vector<Record> MergeSuperRecords(const std::vector<Record>& records);
+
+struct VirtualDimResult {
+  std::vector<Record> records;  // keys extended by one trailing coordinate
+  Domain extended_domain;
+};
+
+// Appends a virtual dimension of 2^vdim_bits values; same-key records get
+// distinct random virtual coordinates. Throws if a key has more than
+// 2^vdim_bits duplicates.
+VirtualDimResult AddVirtualDimension(const Domain& domain,
+                                     const std::vector<Record>& records,
+                                     int vdim_bits, Rng* rng);
+
+// Extends a query range to cover the whole virtual dimension.
+Box ExtendRangeToVirtualDim(const Box& range, const Domain& extended_domain);
+
+// --- Non-zero-knowledge path ---------------------------------------------
+
+// Message with embedded duplicate info: hash(o)|hash(v)|dup_num|dup_id.
+std::vector<std::uint8_t> DupRecordMessage(const Point& key,
+                                           const std::string& value,
+                                           std::uint32_t dup_num,
+                                           std::uint32_t dup_id);
+std::vector<std::uint8_t> DupRecordMessageFromHash(const Point& key,
+                                                   const Digest& value_hash,
+                                                   std::uint32_t dup_num,
+                                                   std::uint32_t dup_id);
+
+// Grid tree whose leaves hold duplicate groups.
+class DupGridTree {
+ public:
+  struct DupEntry {
+    Record record;
+    std::uint32_t dup_id = 0;
+    Signature sig;
+  };
+  struct Node {
+    Box box;
+    Policy policy;
+    Signature sig;            // internal nodes only
+    bool is_leaf = false;
+    bool is_pseudo = false;   // leaf with no real records
+    std::vector<DupEntry> dups;  // leaf group (size >= 1)
+  };
+  struct NodeId {
+    int level = 0;
+    std::uint64_t index = 0;
+  };
+
+  static DupGridTree Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                           const Domain& domain,
+                           const std::vector<Record>& records, Rng* rng);
+
+  const Domain& domain() const { return domain_; }
+  NodeId Root() const { return {0, 0}; }
+  const Node& GetNode(NodeId id) const { return levels_[id.level][id.index]; }
+  bool IsLeafLevel(NodeId id) const { return id.level == domain_.bits; }
+  std::vector<NodeId> Children(NodeId id) const;
+  void SerializedSize(std::size_t* structure_bytes,
+                      std::size_t* signature_bytes) const;
+
+ private:
+  std::vector<std::uint32_t> Coords(NodeId id) const;
+  std::uint64_t IndexOf(int level, const std::vector<std::uint32_t>& c) const;
+
+  Domain domain_;
+  std::vector<std::vector<Node>> levels_;
+};
+
+// VO for non-ZK duplicate range queries.
+struct DupVo {
+  struct DupResultEntry {
+    Point key;
+    std::string value;
+    Policy policy;
+    std::uint32_t dup_num, dup_id;
+    Signature app_sig;
+  };
+  struct DupInaccessibleEntry {
+    Point key;
+    Digest value_hash;
+    std::uint32_t dup_num, dup_id;
+    Signature aps_sig;
+  };
+  std::vector<DupResultEntry> results;
+  std::vector<DupInaccessibleEntry> inaccessible;
+  std::vector<InaccessibleBoxEntry> boxes;
+
+  std::size_t SerializedSize() const;
+};
+
+DupVo BuildDupRangeVo(const DupGridTree& tree, const VerifyKey& mvk,
+                      const Box& range, const RoleSet& user_roles,
+                      const RoleSet& universe, Rng* rng);
+
+bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
+                      const Box& range, const RoleSet& user_roles,
+                      const RoleSet& universe, const DupVo& vo,
+                      std::vector<Record>* results, std::string* error);
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_DUPLICATES_H_

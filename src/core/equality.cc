@@ -1,0 +1,83 @@
+#include "core/equality.h"
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+Vo BuildEqualityVo(const GridTree& tree, const VerifyKey& mvk, const Point& key,
+                   const RoleSet& user_roles, const RoleSet& universe,
+                   Rng* rng) {
+  Vo vo;
+  const GridTree::Node& leaf = tree.GetNode(tree.LeafAt(key));
+  if (leaf.policy.Evaluate(user_roles)) {
+    vo.entries.push_back(ResultEntry{leaf.record.key, leaf.record.value,
+                                     leaf.record.policy, leaf.sig});
+    return vo;
+  }
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Digest vh =
+      crypto::Sha256::Hash(leaf.record.value.data(), leaf.record.value.size());
+  auto msg = RecordMessageFromHash(leaf.record.key, vh);
+  auto aps = DeriveAps(mvk, leaf.sig, leaf.policy, msg, lacked, rng);
+  vo.entries.push_back(InaccessibleRecordEntry{leaf.record.key, vh, *aps});
+  return vo;
+}
+
+bool VerifyEqualityVo(const VerifyKey& mvk, const Domain& domain,
+                      const Point& key, const RoleSet& user_roles,
+                      const RoleSet& universe, const Vo& vo, Record* result,
+                      bool* accessible, std::string* error,
+                      bool exact_pairings) {
+  if (!domain.ContainsPoint(key)) {
+    SetError(error, "query key outside domain");
+    return false;
+  }
+  if (vo.entries.size() != 1) {
+    SetError(error, "equality VO must contain exactly one entry");
+    return false;
+  }
+  const VoEntry& entry = vo.entries[0];
+  if (const auto* res = std::get_if<ResultEntry>(&entry)) {
+    if (res->key != key) {
+      SetError(error, "result key does not match query");
+      return false;
+    }
+    if (!res->policy.Evaluate(user_roles)) {
+      SetError(error, "result policy not satisfied by user roles");
+      return false;
+    }
+    auto msg = RecordMessage(res->key, res->value);
+    if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
+      SetError(error, "APP signature verification failed");
+      return false;
+    }
+    if (result != nullptr) *result = Record{res->key, res->value, res->policy};
+    if (accessible != nullptr) *accessible = true;
+    return true;
+  }
+  if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+    if (rec->key != key) {
+      SetError(error, "inaccessible entry key does not match query");
+      return false;
+    }
+    RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+    Policy super_policy = Policy::OrOfRoles(lacked);
+    auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
+    if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
+      SetError(error, "APS signature verification failed");
+      return false;
+    }
+    if (accessible != nullptr) *accessible = false;
+    return true;
+  }
+  SetError(error, "unexpected entry type in equality VO");
+  return false;
+}
+
+}  // namespace apqa::core

@@ -1,0 +1,243 @@
+#include "core/grid_tree.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/serde.h"
+#include "crypto/serde.h"
+
+namespace apqa::core {
+
+std::vector<std::uint32_t> GridTree::Coords(NodeId id) const {
+  std::vector<std::uint32_t> c(domain_.dims);
+  std::uint64_t side = std::uint64_t{1} << id.level;
+  std::uint64_t idx = id.index;
+  for (int d = domain_.dims - 1; d >= 0; --d) {
+    c[d] = static_cast<std::uint32_t>(idx % side);
+    idx /= side;
+  }
+  return c;
+}
+
+std::uint64_t GridTree::IndexOf(int level,
+                                const std::vector<std::uint32_t>& c) const {
+  std::uint64_t side = std::uint64_t{1} << level;
+  std::uint64_t idx = 0;
+  for (int d = 0; d < domain_.dims; ++d) idx = idx * side + c[d];
+  return idx;
+}
+
+std::vector<GridTree::NodeId> GridTree::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  if (IsLeafLevel(id)) return out;
+  std::vector<std::uint32_t> c = Coords(id);
+  int n = 1 << domain_.dims;
+  out.reserve(n);
+  for (int mask = 0; mask < n; ++mask) {
+    std::vector<std::uint32_t> cc(domain_.dims);
+    for (int d = 0; d < domain_.dims; ++d) {
+      cc[d] = 2 * c[d] + ((mask >> d) & 1);
+    }
+    out.push_back(NodeId{id.level + 1, IndexOf(id.level + 1, cc)});
+  }
+  return out;
+}
+
+GridTree::NodeId GridTree::LeafAt(const Point& p) const {
+  std::vector<std::uint32_t> c(p.begin(), p.end());
+  return NodeId{domain_.bits, IndexOf(domain_.bits, c)};
+}
+
+std::size_t GridTree::NodeCount() const {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+void GridTree::SerializedSize(std::size_t* structure_bytes,
+                              std::size_t* signature_bytes) const {
+  std::size_t structure = 0, sigs = 0;
+  for (const auto& level : levels_) {
+    for (const Node& node : level) {
+      structure += 8 * node.box.lo.size();  // box coordinates
+      structure += node.policy.ToString().size();
+      if (node.is_leaf) structure += node.record.value.size();
+      sigs += node.sig.SerializedSize();
+    }
+  }
+  *structure_bytes = structure;
+  *signature_bytes = sigs;
+}
+
+void GridTree::Serialize(common::ByteWriter* w) const {
+  w->PutU32(static_cast<std::uint32_t>(domain_.dims));
+  w->PutU32(static_cast<std::uint32_t>(domain_.bits));
+  for (const auto& level : levels_) {
+    for (const Node& node : level) {
+      w->PutString(node.policy.ToString());
+      node.sig.Serialize(w);
+      if (node.is_leaf) {
+        w->PutU8(node.is_pseudo ? 1 : 0);
+        w->PutString(node.record.value);
+      }
+    }
+  }
+}
+
+std::optional<GridTree> GridTree::Deserialize(common::ByteReader* r) {
+  GridTree tree;
+  tree.domain_.dims = static_cast<int>(r->GetU32());
+  tree.domain_.bits = static_cast<int>(r->GetU32());
+  if (!r->ok() || tree.domain_.dims < 1 || tree.domain_.dims > 8 ||
+      tree.domain_.bits < 1 || tree.domain_.bits > 16 ||
+      tree.domain_.CellCount() > (1u << 22)) {
+    return std::nullopt;
+  }
+  const Domain& domain = tree.domain_;
+  tree.levels_.resize(domain.bits + 1);
+  for (int level = 0; level <= domain.bits; ++level) {
+    std::uint64_t count = 1;
+    for (int d = 0; d < domain.dims; ++d) count *= std::uint64_t{1} << level;
+    auto& nodes = tree.levels_[level];
+    nodes.resize(count);
+    std::uint32_t cell_side = std::uint32_t{1} << (domain.bits - level);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Node& node = nodes[i];
+      auto parsed = Policy::TryParse(r->GetString());
+      if (!parsed.has_value()) return std::nullopt;
+      node.policy = std::move(*parsed);
+      node.sig = Signature::Deserialize(r);
+      std::vector<std::uint32_t> c = tree.Coords(NodeId{level, i});
+      node.box.lo.resize(domain.dims);
+      node.box.hi.resize(domain.dims);
+      for (int d = 0; d < domain.dims; ++d) {
+        node.box.lo[d] = c[d] * cell_side;
+        node.box.hi[d] = node.box.lo[d] + cell_side - 1;
+      }
+      if (level == domain.bits) {
+        node.is_leaf = true;
+        node.is_pseudo = r->GetU8() != 0;
+        node.record.key = node.box.lo;
+        node.record.value = r->GetString();
+        node.record.policy = node.policy;
+      }
+      if (!r->ok()) return std::nullopt;
+    }
+  }
+  return tree;
+}
+
+GridTree GridTree::Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                         const Domain& domain,
+                         const std::vector<Record>& records, Rng* rng,
+                         ThreadPool* pool) {
+  GridTree tree;
+  tree.domain_ = domain;
+  tree.levels_.resize(domain.bits + 1);
+
+  std::map<Point, const Record*> by_key;
+  for (const Record& r : records) {
+    if (!domain.ContainsPoint(r.key)) {
+      throw std::invalid_argument("record key outside domain");
+    }
+    if (!by_key.emplace(r.key, &r).second) {
+      throw std::invalid_argument(
+          "duplicate query key; use the duplicates module (Appendix E)");
+    }
+  }
+
+  // Leaf level: one node per unit cell.
+  int bits = domain.bits;
+  std::uint64_t leaf_count = domain.CellCount();
+  auto& leaves = tree.levels_[bits];
+  leaves.resize(leaf_count);
+  Policy pseudo_policy = Policy::Var(kPseudoRole);
+  for (std::uint64_t i = 0; i < leaf_count; ++i) {
+    Node& node = leaves[i];
+    node.is_leaf = true;
+    std::vector<std::uint32_t> c = tree.Coords(NodeId{bits, i});
+    node.box = Box{Point(c.begin(), c.end()), Point(c.begin(), c.end())};
+    auto it = by_key.find(node.box.lo);
+    if (it != by_key.end()) {
+      node.is_pseudo = false;
+      node.record = *it->second;
+    } else {
+      node.is_pseudo = true;
+      node.record.key = node.box.lo;
+      auto bytes = rng->Bytes(16);
+      node.record.value.assign(bytes.begin(), bytes.end());
+      node.record.policy = pseudo_policy;
+    }
+    node.policy = node.record.policy;
+  }
+
+  // Internal levels bottom-up: policy = OR of children (reduced DNF).
+  for (int level = bits - 1; level >= 0; --level) {
+    std::uint64_t side = std::uint64_t{1} << level;
+    std::uint64_t count = 1;
+    for (int d = 0; d < domain.dims; ++d) count *= side;
+    auto& nodes = tree.levels_[level];
+    nodes.resize(count);
+    std::uint32_t cell_side = std::uint32_t{1} << (bits - level);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Node& node = nodes[i];
+      NodeId id{level, i};
+      std::vector<std::uint32_t> c = tree.Coords(id);
+      node.box.lo.resize(domain.dims);
+      node.box.hi.resize(domain.dims);
+      for (int d = 0; d < domain.dims; ++d) {
+        node.box.lo[d] = c[d] * cell_side;
+        node.box.hi[d] = node.box.lo[d] + cell_side - 1;
+      }
+      bool first = true;
+      for (NodeId child : tree.Children(id)) {
+        const Policy& cp = tree.GetNode(child).policy;
+        node.policy = first ? cp.ToDnf() : policy::OrCombineDnf(node.policy, cp);
+        first = false;
+      }
+    }
+  }
+
+  // Sign everything. Signing jobs are independent; fan out when a pool is
+  // provided (each job gets its own RNG stream seeded from the caller's).
+  struct Job {
+    Node* node;
+  };
+  std::vector<Node*> jobs;
+  jobs.reserve(tree.NodeCount());
+  for (auto& level : tree.levels_) {
+    for (auto& node : level) jobs.push_back(&node);
+  }
+  auto sign_one = [&](Node* node, Rng* r) {
+    std::optional<Signature> sig;
+    if (node->is_leaf) {
+      sig = SignRecord(mvk, sk_do, node->record, r);
+    } else {
+      sig = SignBox(mvk, sk_do, node->box, node->policy, r);
+    }
+    if (!sig.has_value()) {
+      throw std::logic_error("DO signing key does not cover a record policy");
+    }
+    node->sig = std::move(*sig);
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    std::vector<Rng> rngs;
+    rngs.reserve(pool->thread_count());
+    std::vector<std::uint64_t> seeds;
+    for (int t = 0; t < pool->thread_count(); ++t) seeds.push_back(rng->NextU64());
+    for (auto s : seeds) rngs.emplace_back(s);
+    std::atomic<std::size_t> next{0};
+    pool->ParallelFor(pool->thread_count(), [&](std::size_t t) {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) break;
+        sign_one(jobs[i], &rngs[t]);
+      }
+    });
+  } else {
+    for (Node* j : jobs) sign_one(j, rng);
+  }
+  return tree;
+}
+
+}  // namespace apqa::core

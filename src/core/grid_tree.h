@@ -1,0 +1,79 @@
+// AP²G-tree: the access-policy-preserving grid tree (paper §6.1).
+//
+// A *full* 2^d-ary tree over the power-of-two query-attribute domain. Every
+// unit cell is a leaf — cells without a real record hold a pseudo record
+// with policy Role_∅ — so the tree shape reveals nothing about the data
+// distribution. Each leaf carries the APP signature of its record; each
+// internal node carries the OR of its children's policies (in reduced DNF)
+// and an APP signature over its grid box.
+#ifndef APQA_CORE_GRID_TREE_H_
+#define APQA_CORE_GRID_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/app_signature.h"
+#include "core/record.h"
+#include "core/thread_pool.h"
+
+namespace apqa::core {
+
+class GridTree {
+ public:
+  struct Node {
+    Box box;
+    Policy policy;
+    Signature sig;
+    bool is_leaf = false;
+    bool is_pseudo = false;  // leaf without a real record
+    Record record;           // leaf payload (pseudo records hold a random value)
+  };
+
+  // Node address: level 0 is the root; level `bits` holds the unit cells.
+  struct NodeId {
+    int level = 0;
+    std::uint64_t index = 0;  // row-major over the level's grid
+  };
+
+  // Builds and signs the tree (DO side). Duplicate keys are rejected
+  // (Appendix E handles duplicates via a virtual dimension; see
+  // core/duplicates.h). `pool` may be null for single-threaded signing.
+  static GridTree Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                        const Domain& domain, const std::vector<Record>& records,
+                        Rng* rng, ThreadPool* pool = nullptr);
+
+  const Domain& domain() const { return domain_; }
+  int depth() const { return domain_.bits; }
+
+  NodeId Root() const { return {0, 0}; }
+  const Node& GetNode(NodeId id) const { return levels_[id.level][id.index]; }
+  bool IsLeafLevel(NodeId id) const { return id.level == domain_.bits; }
+  std::vector<NodeId> Children(NodeId id) const;
+  // Leaf node covering a unit cell.
+  NodeId LeafAt(const Point& p) const;
+
+  // DO → SP transfer of the outsourced ADS: full serialization including
+  // every node policy and signature (boxes are implied by the grid shape).
+  void Serialize(common::ByteWriter* w) const;
+  static std::optional<GridTree> Deserialize(common::ByteReader* r);
+
+  std::size_t NodeCount() const;
+  std::size_t LeafCount() const { return levels_.back().size(); }
+  // Serialized ADS size in bytes, split into tree structure (boxes +
+  // policies) and signatures — the two components of Table 1.
+  void SerializedSize(std::size_t* structure_bytes,
+                      std::size_t* signature_bytes) const;
+
+ private:
+  // Grid coordinates of a node within its level.
+  std::vector<std::uint32_t> Coords(NodeId id) const;
+  std::uint64_t IndexOf(int level, const std::vector<std::uint32_t>& c) const;
+
+  Domain domain_;
+  std::vector<std::vector<Node>> levels_;  // levels_[L] has 2^(L*dims) nodes
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_GRID_TREE_H_

@@ -1,0 +1,79 @@
+#include "core/hierarchy.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace apqa::core {
+
+using policy::Policy;
+using policy::RoleSet;
+
+void RoleHierarchy::AddEdge(const std::string& parent,
+                            const std::string& child) {
+  if (parent == child) throw std::invalid_argument("self edge");
+  // Reject cycles: parent must not be a descendant of child.
+  std::string cur = parent;
+  while (true) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) break;
+    if (it->second == child) throw std::invalid_argument("hierarchy cycle");
+    cur = it->second;
+  }
+  if (!parent_.emplace(child, parent).second) {
+    throw std::invalid_argument("role already has a parent: " + child);
+  }
+}
+
+RoleSet RoleHierarchy::Ancestors(const std::string& role) const {
+  RoleSet out;
+  std::string cur = role;
+  for (;;) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) break;
+    out.insert(it->second);
+    cur = it->second;
+  }
+  return out;
+}
+
+RoleSet RoleHierarchy::Close(const RoleSet& roles) const {
+  RoleSet out = roles;
+  for (const auto& r : roles) {
+    RoleSet anc = Ancestors(r);
+    out.insert(anc.begin(), anc.end());
+  }
+  return out;
+}
+
+Policy RoleHierarchy::Augment(const Policy& policy) const {
+  std::vector<policy::Clause> clauses = policy.DnfClauses();
+  std::vector<policy::Clause> augmented;
+  augmented.reserve(clauses.size());
+  for (const auto& clause : clauses) {
+    policy::Clause c = clause;
+    for (const auto& role : clause) {
+      RoleSet anc = Ancestors(role);
+      c.insert(anc.begin(), anc.end());
+    }
+    augmented.push_back(std::move(c));
+  }
+  return Policy::FromDnfClauses(augmented);
+}
+
+RoleSet RoleHierarchy::ReduceLackedSet(const RoleSet& lacked) const {
+  RoleSet out;
+  for (const auto& r : lacked) {
+    RoleSet anc = Ancestors(r);
+    bool covered = false;
+    for (const auto& a : anc) {
+      if (lacked.count(a)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.insert(r);
+  }
+  return out;
+}
+
+}  // namespace apqa::core

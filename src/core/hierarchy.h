@@ -1,0 +1,48 @@
+// Hierarchical role assignment (paper §8.1).
+//
+// When roles form a hierarchy (e.g. university → student/professor of that
+// university), lacking an ancestor role implies lacking all of its
+// descendants. Policies are *augmented* so each clause carries the full
+// ancestor chain of every role; then the super access policy of a user only
+// needs the top-most lacked roles, shrinking the inaccessible predicate and
+// thus every APS signature.
+#ifndef APQA_CORE_HIERARCHY_H_
+#define APQA_CORE_HIERARCHY_H_
+
+#include <map>
+#include <string>
+
+#include "policy/policy.h"
+
+namespace apqa::core {
+
+class RoleHierarchy {
+ public:
+  // Adds role `child` under `parent`. Roots are roles never added as a
+  // child. Cycles are rejected.
+  void AddEdge(const std::string& parent, const std::string& child);
+
+  // All ancestors of a role (not including the role itself).
+  policy::RoleSet Ancestors(const std::string& role) const;
+
+  // Closes a user's role set upward: holding a role implies holding all of
+  // its ancestors (a student of university A is a member of university A).
+  policy::RoleSet Close(const policy::RoleSet& roles) const;
+
+  // Augments a policy so that every clause lists the full ancestor chain of
+  // each of its roles (the §8.1 example: Role_{A,P} becomes
+  // Role_A ∧ Role_{A,P}).
+  policy::Policy Augment(const policy::Policy& policy) const;
+
+  // Reduces a lacked-role set to its top-most elements: a role is kept only
+  // if none of its ancestors is also lacked. With augmented policies, the
+  // reduced set is an equivalent relaxation target.
+  policy::RoleSet ReduceLackedSet(const policy::RoleSet& lacked) const;
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_HIERARCHY_H_

@@ -1,0 +1,401 @@
+#include "core/join_query.h"
+
+#include <deque>
+
+#include "core/range_query.h"
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+// Smallest node of `tree` under `from` whose box still covers `box`
+// (Algorithm 4). In a full grid tree this is the aligned node at the same
+// level as `box` when the box is a grid box.
+GridTree::NodeId DescendCovering(const GridTree& tree, GridTree::NodeId from,
+                                 const Box& box) {
+  GridTree::NodeId cur = from;
+  for (;;) {
+    if (tree.IsLeafLevel(cur)) return cur;
+    bool descended = false;
+    for (GridTree::NodeId c : tree.Children(cur)) {
+      if (tree.GetNode(c).box.ContainsBox(box)) {
+        cur = c;
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) return cur;
+  }
+}
+
+}  // namespace
+
+JoinVo BuildJoinVo(const GridTree& tree_r, const GridTree& tree_s,
+                   const VerifyKey& mvk, const Box& range,
+                   const RoleSet& user_roles, const RoleSet& universe,
+                   Rng* rng, ThreadPool* pool) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+
+  JoinVo vo;
+  struct RelaxJob {
+    const GridTree* tree;
+    GridTree::NodeId id;
+    bool s_side;
+  };
+  std::vector<RelaxJob> jobs;
+
+  std::deque<std::pair<GridTree::NodeId, GridTree::NodeId>> queue;
+  queue.emplace_back(tree_r.Root(), tree_s.Root());
+  while (!queue.empty()) {
+    auto [nr, ns] = queue.front();
+    queue.pop_front();
+    const GridTree::Node& node_r = tree_r.GetNode(nr);
+    if (!node_r.box.Intersects(range)) continue;
+    if (!range.ContainsBox(node_r.box)) {
+      for (GridTree::NodeId c : tree_r.Children(nr)) queue.emplace_back(c, ns);
+      continue;
+    }
+    if (!node_r.policy.Evaluate(user_roles)) {
+      jobs.push_back(RelaxJob{&tree_r, nr, /*s_side=*/false});
+      continue;
+    }
+    GridTree::NodeId ns_small = DescendCovering(tree_s, ns, node_r.box);
+    const GridTree::Node& node_s = tree_s.GetNode(ns_small);
+    if (!node_s.policy.Evaluate(user_roles)) {
+      jobs.push_back(RelaxJob{&tree_s, ns_small, /*s_side=*/true});
+      continue;
+    }
+    if (tree_r.IsLeafLevel(nr)) {
+      // Both sides are accessible leaves: a join result pair. Accessibility
+      // excludes pseudo records (policy Role_∅).
+      vo.pairs.push_back(JoinResultPair{
+          ResultEntry{node_r.record.key, node_r.record.value,
+                      node_r.record.policy, node_r.sig},
+          ResultEntry{node_s.record.key, node_s.record.value,
+                      node_s.record.policy, node_s.sig}});
+    } else {
+      for (GridTree::NodeId c : tree_r.Children(nr)) {
+        queue.emplace_back(c, ns_small);
+      }
+    }
+  }
+
+  // Derive APS signatures for all blocking nodes.
+  std::vector<VoEntry> relaxed(jobs.size());
+  std::vector<bool> s_side(jobs.size());
+  auto relax_one = [&](std::size_t i, Rng* r) {
+    const RelaxJob& job = jobs[i];
+    const GridTree::Node& node = job.tree->GetNode(job.id);
+    s_side[i] = job.s_side;
+    if (node.is_leaf) {
+      Digest vh = crypto::Sha256::Hash(node.record.value.data(),
+                                       node.record.value.size());
+      auto msg = RecordMessageFromHash(node.record.key, vh);
+      auto aps = DeriveAps(mvk, node.sig, node.policy, msg, lacked, r);
+      relaxed[i] = InaccessibleRecordEntry{node.record.key, vh, std::move(*aps)};
+    } else {
+      auto msg = BoxMessage(node.box);
+      auto aps = DeriveAps(mvk, node.sig, node.policy, msg, lacked, r);
+      relaxed[i] = InaccessibleBoxEntry{node.box, std::move(*aps)};
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && jobs.size() > 1) {
+    std::vector<Rng> rngs;
+    for (int t = 0; t < pool->thread_count(); ++t) rngs.emplace_back(rng->NextU64());
+    std::atomic<std::size_t> next{0};
+    pool->ParallelFor(pool->thread_count(), [&](std::size_t t) {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) break;
+        relax_one(i, &rngs[t]);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) relax_one(i, rng);
+  }
+  for (std::size_t i = 0; i < relaxed.size(); ++i) {
+    (s_side[i] ? vo.s_aps : vo.r_aps).push_back(std::move(relaxed[i]));
+  }
+  return vo;
+}
+
+void JoinVo::Serialize(common::ByteWriter* w) const {
+  w->PutU32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& p : pairs) {
+    SerializeEntry(w, p.r);
+    SerializeEntry(w, p.s);
+  }
+  w->PutU32(static_cast<std::uint32_t>(r_aps.size()));
+  for (const auto& e : r_aps) SerializeEntry(w, e);
+  w->PutU32(static_cast<std::uint32_t>(s_aps.size()));
+  for (const auto& e : s_aps) SerializeEntry(w, e);
+}
+
+JoinVo JoinVo::Deserialize(common::ByteReader* r) {
+  JoinVo vo;
+  std::uint32_t np = r->GetU32();
+  for (std::uint32_t i = 0; i < np && r->ok(); ++i) {
+    JoinResultPair pair;
+    VoEntry er = DeserializeEntry(r);
+    VoEntry es = DeserializeEntry(r);
+    if (auto* a = std::get_if<ResultEntry>(&er)) pair.r = std::move(*a);
+    if (auto* b = std::get_if<ResultEntry>(&es)) pair.s = std::move(*b);
+    vo.pairs.push_back(std::move(pair));
+  }
+  std::uint32_t nr = r->GetU32();
+  for (std::uint32_t i = 0; i < nr && r->ok(); ++i) {
+    vo.r_aps.push_back(DeserializeEntry(r));
+  }
+  std::uint32_t ns = r->GetU32();
+  for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
+    vo.s_aps.push_back(DeserializeEntry(r));
+  }
+  return vo;
+}
+
+std::size_t JoinVo::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
+                  const RoleSet& user_roles, const RoleSet& universe,
+                  const JoinVo& vo,
+                  std::vector<std::pair<Record, Record>>* results,
+                  std::string* error, bool exact_pairings) {
+  // Completeness: pair cells plus APS regions tile the range.
+  Vo coverage;
+  for (const auto& p : vo.pairs) coverage.entries.push_back(p.r);
+  for (const auto& e : vo.r_aps) coverage.entries.push_back(e);
+  for (const auto& e : vo.s_aps) coverage.entries.push_back(e);
+  if (!CheckCoverage(range, coverage, error)) return false;
+
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+
+  for (const auto& pair : vo.pairs) {
+    if (pair.r.key != pair.s.key) {
+      SetError(error, "join pair keys differ");
+      return false;
+    }
+    if (!domain.ContainsPoint(pair.r.key) || !range.Contains(pair.r.key)) {
+      SetError(error, "join pair key outside range");
+      return false;
+    }
+    for (const ResultEntry* side : {&pair.r, &pair.s}) {
+      if (!side->policy.Evaluate(user_roles)) {
+        SetError(error, "join pair policy not satisfied");
+        return false;
+      }
+      auto msg = RecordMessage(side->key, side->value);
+      if (!Abs::Verify(mvk, msg, side->policy, side->app_sig, exact_pairings)) {
+        SetError(error, "join pair APP signature verification failed");
+        return false;
+      }
+    }
+    if (results != nullptr) {
+      results->emplace_back(Record{pair.r.key, pair.r.value, pair.r.policy},
+                            Record{pair.s.key, pair.s.value, pair.s.policy});
+    }
+  }
+
+  for (const auto* side : {&vo.r_aps, &vo.s_aps}) {
+    for (const auto& entry : *side) {
+      if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+        auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
+        if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
+          SetError(error, "join APS record signature verification failed");
+          return false;
+        }
+      } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
+        auto msg = BoxMessage(boxe->box);
+        if (!Abs::Verify(mvk, msg, super_policy, boxe->aps_sig, exact_pairings)) {
+          SetError(error, "join APS box signature verification failed");
+          return false;
+        }
+      } else {
+        SetError(error, "unexpected result entry among join APS entries");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+MultiJoinVo BuildMultiJoinVo(const std::vector<const GridTree*>& trees,
+                             const VerifyKey& mvk, const Box& range,
+                             const RoleSet& user_roles,
+                             const RoleSet& universe, Rng* rng) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  MultiJoinVo vo;
+  vo.aps.resize(trees.size());
+
+  auto emit_aps = [&](const GridTree& tree, GridTree::NodeId id,
+                      std::vector<VoEntry>* out) {
+    const GridTree::Node& node = tree.GetNode(id);
+    if (node.is_leaf) {
+      Digest vh = crypto::Sha256::Hash(node.record.value.data(),
+                                       node.record.value.size());
+      auto msg = RecordMessageFromHash(node.record.key, vh);
+      auto aps = DeriveAps(mvk, node.sig, node.policy, msg, lacked, rng);
+      out->push_back(InaccessibleRecordEntry{node.record.key, vh, *aps});
+    } else {
+      auto aps = DeriveAps(mvk, node.sig, node.policy, BoxMessage(node.box),
+                           lacked, rng);
+      out->push_back(InaccessibleBoxEntry{node.box, *aps});
+    }
+  };
+
+  // BFS over the first tree; companions track the covering node per table.
+  struct Item {
+    GridTree::NodeId lead;
+    std::vector<GridTree::NodeId> companions;  // trees[1..]
+  };
+  std::deque<Item> queue;
+  Item root;
+  root.lead = trees[0]->Root();
+  for (std::size_t i = 1; i < trees.size(); ++i) {
+    root.companions.push_back(trees[i]->Root());
+  }
+  queue.push_back(std::move(root));
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    const GridTree::Node& lead = trees[0]->GetNode(item.lead);
+    if (!lead.box.Intersects(range)) continue;
+    if (!range.ContainsBox(lead.box)) {
+      for (GridTree::NodeId c : trees[0]->Children(item.lead)) {
+        queue.push_back(Item{c, item.companions});
+      }
+      continue;
+    }
+    if (!lead.policy.Evaluate(user_roles)) {
+      emit_aps(*trees[0], item.lead, &vo.aps[0]);
+      continue;
+    }
+    // Descend every companion to the node covering the lead box; the first
+    // inaccessible one blocks the region.
+    std::vector<GridTree::NodeId> next_companions;
+    bool blocked = false;
+    for (std::size_t i = 1; i < trees.size() && !blocked; ++i) {
+      GridTree::NodeId small =
+          DescendCovering(*trees[i], item.companions[i - 1], lead.box);
+      if (!trees[i]->GetNode(small).policy.Evaluate(user_roles)) {
+        emit_aps(*trees[i], small, &vo.aps[i]);
+        blocked = true;
+      }
+      next_companions.push_back(small);
+    }
+    if (blocked) continue;
+    if (trees[0]->IsLeafLevel(item.lead)) {
+      std::vector<ResultEntry> tuple;
+      tuple.push_back(ResultEntry{lead.record.key, lead.record.value,
+                                  lead.record.policy, lead.sig});
+      for (std::size_t i = 1; i < trees.size(); ++i) {
+        const GridTree::Node& n = trees[i]->GetNode(next_companions[i - 1]);
+        tuple.push_back(
+            ResultEntry{n.record.key, n.record.value, n.record.policy, n.sig});
+      }
+      vo.tuples.push_back(std::move(tuple));
+    } else {
+      for (GridTree::NodeId c : trees[0]->Children(item.lead)) {
+        queue.push_back(Item{c, next_companions});
+      }
+    }
+  }
+  return vo;
+}
+
+std::size_t MultiJoinVo::SerializedSize() const {
+  common::ByteWriter w;
+  for (const auto& tuple : tuples) {
+    for (const auto& e : tuple) SerializeEntry(&w, e);
+  }
+  for (const auto& side : aps) {
+    for (const auto& e : side) SerializeEntry(&w, e);
+  }
+  return w.size();
+}
+
+bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
+                       const Box& range, const RoleSet& user_roles,
+                       const RoleSet& universe, std::size_t num_tables,
+                       const MultiJoinVo& vo,
+                       std::vector<std::vector<Record>>* results,
+                       std::string* error) {
+  if (vo.aps.size() != num_tables) {
+    SetError(error, "wrong number of APS groups");
+    return false;
+  }
+  Vo coverage;
+  for (const auto& tuple : vo.tuples) {
+    if (tuple.size() != num_tables) {
+      SetError(error, "tuple arity mismatch");
+      return false;
+    }
+    coverage.entries.push_back(tuple[0]);
+  }
+  for (const auto& side : vo.aps) {
+    for (const auto& e : side) coverage.entries.push_back(e);
+  }
+  if (!CheckCoverage(range, coverage, error)) return false;
+
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+  for (const auto& tuple : vo.tuples) {
+    for (const auto& side : tuple) {
+      if (side.key != tuple[0].key) {
+        SetError(error, "tuple keys differ");
+        return false;
+      }
+      if (!domain.ContainsPoint(side.key) || !range.Contains(side.key)) {
+        SetError(error, "tuple key outside range");
+        return false;
+      }
+      if (!side.policy.Evaluate(user_roles)) {
+        SetError(error, "tuple policy not satisfied");
+        return false;
+      }
+      auto msg = RecordMessage(side.key, side.value);
+      if (!Abs::Verify(mvk, msg, side.policy, side.app_sig)) {
+        SetError(error, "tuple APP signature verification failed");
+        return false;
+      }
+    }
+    if (results != nullptr) {
+      std::vector<Record> out;
+      for (const auto& side : tuple) {
+        out.push_back(Record{side.key, side.value, side.policy});
+      }
+      results->push_back(std::move(out));
+    }
+  }
+  for (const auto& side : vo.aps) {
+    for (const auto& entry : side) {
+      if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+        auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
+        if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig)) {
+          SetError(error, "multi-join record APS verification failed");
+          return false;
+        }
+      } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
+        if (!Abs::Verify(mvk, BoxMessage(boxe->box), super_policy,
+                         boxe->aps_sig)) {
+          SetError(error, "multi-join box APS verification failed");
+          return false;
+        }
+      } else {
+        SetError(error, "unexpected entry type in multi-join APS group");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace apqa::core

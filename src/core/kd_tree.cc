@@ -1,0 +1,434 @@
+#include "core/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+#include "core/range_query.h"
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+using ClauseSet = std::set<policy::Clause>;
+
+ClauseSet Clauses(const Policy& p) {
+  auto v = p.DnfClauses();
+  return ClauseSet(v.begin(), v.end());
+}
+
+std::size_t IntersectionSize(const ClauseSet& a, const ClauseSet& b) {
+  std::size_t n = 0;
+  for (const auto& c : a) n += b.count(c);
+  return n;
+}
+
+ClauseSet Union(const ClauseSet& a, const ClauseSet& b) {
+  ClauseSet u = a;
+  u.insert(b.begin(), b.end());
+  return u;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> KdLeafMessage(const Box& region, const Point& key,
+                                        const std::string& value) {
+  return KdLeafMessageFromHash(region, key,
+                               crypto::Sha256::Hash(value.data(), value.size()));
+}
+
+std::vector<std::uint8_t> KdLeafMessageFromHash(const Box& region,
+                                                const Point& key,
+                                                const Digest& value_hash) {
+  std::vector<std::uint8_t> msg = BoxMessage(region);
+  std::vector<std::uint8_t> rm = RecordMessageFromHash(key, value_hash);
+  msg.insert(msg.end(), rm.begin(), rm.end());
+  return msg;
+}
+
+std::size_t KdTree::SplitPosition(const std::vector<Policy>& policies) {
+  std::size_t n = policies.size();
+  std::vector<ClauseSet> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Clauses(policies[i]);
+  if (n <= 1) return 0;
+  if (n == 2) return 1;
+  if (n == 3) {
+    return IntersectionSize(x[0], x[1]) < IntersectionSize(x[1], x[2]) ? 1 : 2;
+  }
+  // Algorithm 7 recursion, iterative form: maintain the best split of the
+  // prefix and compare against splitting just before the new element.
+  std::size_t split = IntersectionSize(x[0], x[1]) < IntersectionSize(x[1], x[2])
+                          ? 1
+                          : 2;
+  // Prefix unions to evaluate the two candidate objectives cheaply.
+  std::vector<ClauseSet> prefix(n);
+  prefix[0] = x[0];
+  for (std::size_t i = 1; i < n; ++i) prefix[i] = Union(prefix[i - 1], x[i]);
+  for (std::size_t m = 4; m <= n; ++m) {
+    // Candidate A: keep previous split x' of the first m-1 policies:
+    //   a = |(X_1..x') ∩ (X_{x'+1}..m-1)|
+    ClauseSet mid;
+    for (std::size_t i = split; i + 1 <= m - 1; ++i) mid = Union(mid, x[i]);
+    std::size_t a = IntersectionSize(prefix[split - 1], mid);
+    // Candidate B: split before the last element: b = |mid' ∩ X_m| where
+    // mid' = X_{x'+1}..m-1.
+    std::size_t b = IntersectionSize(mid, x[m - 1]);
+    if (a >= b) split = m - 1;
+  }
+  return split;
+}
+
+int KdTree::BuildNode(const VerifyKey& mvk, const SigningKey& sk_do,
+                      const Box& region, std::vector<Record> records,
+                      int depth, int max_policy_depth, Rng* rng) {
+  int idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[idx];
+    node.region = region;
+
+    if (records.size() <= 1) {
+      node.is_leaf = true;
+      if (records.empty()) {
+        node.is_pseudo = true;
+        node.record.key = region.lo;
+        auto bytes = rng->Bytes(16);
+        node.record.value.assign(bytes.begin(), bytes.end());
+        node.record.policy = Policy::Var(kPseudoRole);
+      } else {
+        node.record = std::move(records[0]);
+      }
+      node.policy = node.record.policy;
+      auto sig = abs::Abs::Sign(
+          mvk, sk_do,
+          KdLeafMessage(region, node.record.key, node.record.value),
+          node.policy, rng);
+      if (!sig.has_value()) {
+        throw std::logic_error("DO key does not cover record policy");
+      }
+      node.sig = std::move(*sig);
+      return idx;
+    }
+  }
+
+  // Choose a split dimension (cycling) with at least two distinct
+  // coordinates.
+  int dims = domain_.dims;
+  int dim = -1;
+  for (int probe = 0; probe < dims; ++probe) {
+    int d = (depth + probe) % dims;
+    std::uint32_t lo = records[0].key[d], hi = records[0].key[d];
+    for (const auto& r : records) {
+      lo = std::min(lo, r.key[d]);
+      hi = std::max(hi, r.key[d]);
+    }
+    if (lo != hi) {
+      dim = d;
+      break;
+    }
+  }
+  if (dim < 0) {
+    throw std::invalid_argument(
+        "duplicate keys are not supported by the AP2kd-tree");
+  }
+
+  std::sort(records.begin(), records.end(),
+            [dim](const Record& a, const Record& b) {
+              return a.key[dim] < b.key[dim];
+            });
+
+  std::uint32_t split_coord;  // left half is [lo, split_coord - 1]
+  std::size_t left_count;
+  if (depth < max_policy_depth) {
+    // Policy-aware split: group records by distinct coordinate, apply
+    // Algorithm 7 over the groups' OR-policies, split between groups.
+    std::vector<Policy> group_policies;
+    std::vector<std::size_t> group_end;  // exclusive record index
+    for (std::size_t i = 0; i < records.size();) {
+      std::size_t j = i;
+      Policy p = records[i].policy;
+      while (++j < records.size() &&
+             records[j].key[dim] == records[i].key[dim]) {
+        p = policy::OrCombineDnf(p, records[j].policy);
+      }
+      group_policies.push_back(std::move(p));
+      group_end.push_back(j);
+      i = j;
+    }
+    std::size_t g = group_policies.size() == 1
+                        ? 1
+                        : SplitPosition(group_policies);  // 1-based group count
+    left_count = group_end[g - 1];
+    split_coord = records[left_count].key[dim];
+  } else {
+    // Midpoint (grid) split to bound depth.
+    split_coord =
+        region.lo[dim] + (region.hi[dim] - region.lo[dim]) / 2 + 1;
+    left_count = 0;
+    while (left_count < records.size() &&
+           records[left_count].key[dim] < split_coord) {
+      ++left_count;
+    }
+    if (left_count == 0 || left_count == records.size()) {
+      // Degenerate midpoint: split at the distinct-coordinate boundary
+      // closest to the median. At least one boundary exists because the
+      // dimension was chosen to have two distinct coordinates.
+      std::size_t best = 0;
+      std::size_t median = records.size() / 2;
+      for (std::size_t b = 1; b < records.size(); ++b) {
+        if (records[b - 1].key[dim] == records[b].key[dim]) continue;
+        std::size_t dist = b > median ? b - median : median - b;
+        std::size_t best_dist =
+            best > median ? best - median : median - best;
+        if (best == 0 || dist < best_dist) best = b;
+      }
+      left_count = best;
+      split_coord = records[best].key[dim];
+    }
+  }
+
+  Box left_region = region, right_region = region;
+  left_region.hi[dim] = split_coord - 1;
+  right_region.lo[dim] = split_coord;
+  std::vector<Record> left(records.begin(), records.begin() + left_count);
+  std::vector<Record> right(records.begin() + left_count, records.end());
+
+  int l = BuildNode(mvk, sk_do, left_region, std::move(left), depth + 1,
+                    max_policy_depth, rng);
+  int r = BuildNode(mvk, sk_do, right_region, std::move(right), depth + 1,
+                    max_policy_depth, rng);
+
+  Node& node = nodes_[idx];
+  node.left = l;
+  node.right = r;
+  node.policy = policy::OrCombineDnf(nodes_[l].policy, nodes_[r].policy);
+  auto sig = abs::Abs::Sign(mvk, sk_do, BoxMessage(region), node.policy, rng);
+  if (!sig.has_value()) {
+    throw std::logic_error("DO key does not cover node policy");
+  }
+  node.sig = std::move(*sig);
+  return idx;
+}
+
+KdTree KdTree::Build(const VerifyKey& mvk, const SigningKey& sk_do,
+                     const Domain& domain, const std::vector<Record>& records,
+                     Rng* rng) {
+  KdTree tree;
+  tree.domain_ = domain;
+  for (const auto& r : records) {
+    if (!domain.ContainsPoint(r.key)) {
+      throw std::invalid_argument("record key outside domain");
+    }
+  }
+  // Depth bound log2(S) from §9.1 (S = area of the index space).
+  int max_policy_depth = domain.bits * domain.dims;
+  tree.root_ = tree.BuildNode(mvk, sk_do, domain.FullBox(), records, 0,
+                              max_policy_depth, rng);
+  return tree;
+}
+
+std::size_t KdTree::LeafCount() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.is_leaf ? 1 : 0;
+  return n;
+}
+
+std::size_t KdTree::MaxDepth() const {
+  // Depth via iterative traversal.
+  std::size_t best = 0;
+  std::deque<std::pair<int, std::size_t>> queue{{root_, 0}};
+  while (!queue.empty()) {
+    auto [idx, d] = queue.front();
+    queue.pop_front();
+    if (idx < 0) continue;
+    best = std::max(best, d);
+    queue.emplace_back(nodes_[idx].left, d + 1);
+    queue.emplace_back(nodes_[idx].right, d + 1);
+  }
+  return best;
+}
+
+void KdTree::SerializedSize(std::size_t* structure_bytes,
+                            std::size_t* signature_bytes) const {
+  std::size_t structure = 0, sigs = 0;
+  for (const auto& node : nodes_) {
+    structure += 8 * node.region.lo.size() + node.policy.ToString().size();
+    if (node.is_leaf) structure += node.record.value.size();
+    sigs += node.sig.SerializedSize();
+  }
+  *structure_bytes = structure;
+  *signature_bytes = sigs;
+}
+
+KdVo BuildKdRangeVo(const KdTree& tree, const VerifyKey& mvk, const Box& range,
+                    const RoleSet& user_roles, const RoleSet& universe,
+                    Rng* rng) {
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  KdVo vo;
+  std::deque<int> queue{tree.root()};
+  while (!queue.empty()) {
+    int idx = queue.front();
+    queue.pop_front();
+    const KdTree::Node& node = tree.nodes()[idx];
+    if (!node.region.Intersects(range)) continue;
+    if (!range.ContainsBox(node.region) && !node.is_leaf) {
+      queue.push_back(node.left);
+      queue.push_back(node.right);
+      continue;
+    }
+    if (node.is_leaf) {
+      // A leaf partially intersecting the range is returned whole; its
+      // region clipped to the range still accounts for coverage. For
+      // simplicity we return the leaf and let the verifier clip.
+      if (node.policy.Evaluate(user_roles)) {
+        vo.results.push_back(KdResultEntry{node.region, node.record.key,
+                                           node.record.value,
+                                           node.record.policy, node.sig});
+      } else {
+        Digest vh = crypto::Sha256::Hash(node.record.value.data(),
+                                         node.record.value.size());
+        auto msg = KdLeafMessageFromHash(node.region, node.record.key, vh);
+        auto aps = abs::Abs::Relax(mvk, node.sig, node.policy, msg, lacked, rng);
+        vo.leaves.push_back(
+            KdInaccessibleLeafEntry{node.region, node.record.key, vh,
+                                    std::move(*aps)});
+      }
+      continue;
+    }
+    if (node.policy.Evaluate(user_roles)) {
+      queue.push_back(node.left);
+      queue.push_back(node.right);
+    } else {
+      auto msg = BoxMessage(node.region);
+      auto aps = abs::Abs::Relax(mvk, node.sig, node.policy, msg, lacked, rng);
+      vo.boxes.push_back(InaccessibleBoxEntry{node.region, std::move(*aps)});
+    }
+  }
+  return vo;
+}
+
+void KdVo::Serialize(common::ByteWriter* w) const {
+  auto write_point = [w](const Point& p) {
+    w->PutU32(static_cast<std::uint32_t>(p.size()));
+    for (auto c : p) w->PutU32(c);
+  };
+  auto write_box = [&](const Box& b) {
+    write_point(b.lo);
+    write_point(b.hi);
+  };
+  w->PutU32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& e : results) {
+    write_box(e.region);
+    write_point(e.key);
+    w->PutString(e.value);
+    w->PutString(e.policy.ToString());
+    e.app_sig.Serialize(w);
+  }
+  w->PutU32(static_cast<std::uint32_t>(leaves.size()));
+  for (const auto& e : leaves) {
+    write_box(e.region);
+    write_point(e.key);
+    w->PutBytes(e.value_hash.data(), e.value_hash.size());
+    e.aps_sig.Serialize(w);
+  }
+  w->PutU32(static_cast<std::uint32_t>(boxes.size()));
+  for (const auto& e : boxes) {
+    write_box(e.box);
+    e.aps_sig.Serialize(w);
+  }
+}
+
+std::size_t KdVo::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
+                     const Box& range, const RoleSet& user_roles,
+                     const RoleSet& universe, const KdVo& vo,
+                     std::vector<Record>* results, std::string* error) {
+  // Coverage: clip each region to the range; clipped regions must be
+  // disjoint and tile the range.
+  std::vector<Box> regions;
+  for (const auto& e : vo.results) regions.push_back(e.region);
+  for (const auto& e : vo.leaves) regions.push_back(e.region);
+  for (const auto& e : vo.boxes) regions.push_back(e.box);
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    Box clipped = regions[i];
+    if (clipped.lo.size() != range.lo.size()) {
+      SetError(error, "region dimensionality mismatch");
+      return false;
+    }
+    for (std::size_t d = 0; d < clipped.lo.size(); ++d) {
+      clipped.lo[d] = std::max(clipped.lo[d], range.lo[d]);
+      if (clipped.hi[d] < range.lo[d] || clipped.lo[d] > range.hi[d]) {
+        SetError(error, "region outside query range");
+        return false;
+      }
+      clipped.hi[d] = std::min(clipped.hi[d], range.hi[d]);
+    }
+    regions[i] = clipped;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (regions[j].Intersects(clipped)) {
+        SetError(error, "overlapping regions");
+        return false;
+      }
+    }
+    covered += clipped.Volume();
+  }
+  if (covered != range.Volume()) {
+    SetError(error, "regions do not cover the query range");
+    return false;
+  }
+
+  RoleSet lacked = SuperPolicyRoles(universe, user_roles);
+  Policy super_policy = Policy::OrOfRoles(lacked);
+  for (const auto& e : vo.results) {
+    if (!domain.ContainsPoint(e.key) || !e.region.Contains(e.key)) {
+      SetError(error, "result key outside its region");
+      return false;
+    }
+    if (!range.Contains(e.key)) {
+      // The record itself may be outside the range if the leaf region only
+      // partially overlaps; such a record is not a result but its region
+      // still proves emptiness. Accept but do not output.
+      // (The key must still be inside the region, checked above.)
+    }
+    if (!e.policy.Evaluate(user_roles)) {
+      SetError(error, "result policy not satisfied");
+      return false;
+    }
+    if (!abs::Abs::Verify(mvk, KdLeafMessage(e.region, e.key, e.value),
+                          e.policy, e.app_sig)) {
+      SetError(error, "kd APP signature verification failed");
+      return false;
+    }
+    if (results != nullptr && range.Contains(e.key)) {
+      results->push_back(Record{e.key, e.value, e.policy});
+    }
+  }
+  for (const auto& e : vo.leaves) {
+    auto msg = KdLeafMessageFromHash(e.region, e.key, e.value_hash);
+    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
+      SetError(error, "kd leaf APS signature verification failed");
+      return false;
+    }
+  }
+  for (const auto& e : vo.boxes) {
+    if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
+      SetError(error, "kd box APS signature verification failed");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace apqa::core

@@ -1,0 +1,181 @@
+#include "core/range_query.h"
+
+#include <deque>
+#include <mutex>
+
+namespace apqa::core {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+Vo BuildRangeVo(const GridTree& tree, const VerifyKey& mvk, const Box& range,
+                const RoleSet& user_roles, const RoleSet& universe, Rng* rng,
+                ThreadPool* pool) {
+  return BuildRangeVoWithLacked(tree, mvk, range, user_roles,
+                                SuperPolicyRoles(universe, user_roles), rng,
+                                pool);
+}
+
+Vo BuildRangeVoWithLacked(const GridTree& tree, const VerifyKey& mvk,
+                          const Box& range, const RoleSet& user_roles,
+                          const RoleSet& lacked, Rng* rng, ThreadPool* pool) {
+
+  // Phase 1: BFS to find result leaves and inaccessible covers.
+  struct RelaxJob {
+    GridTree::NodeId id;
+  };
+  Vo vo;
+  std::vector<RelaxJob> jobs;
+  std::deque<GridTree::NodeId> queue;
+  queue.push_back(tree.Root());
+  while (!queue.empty()) {
+    GridTree::NodeId id = queue.front();
+    queue.pop_front();
+    const GridTree::Node& node = tree.GetNode(id);
+    if (!node.box.Intersects(range)) continue;
+    if (!range.ContainsBox(node.box)) {
+      // Partial overlap: explore the subtree.
+      for (GridTree::NodeId c : tree.Children(id)) queue.push_back(c);
+      continue;
+    }
+    // Node fully inside the query range.
+    if (node.policy.Evaluate(user_roles)) {
+      if (node.is_leaf) {
+        vo.entries.push_back(ResultEntry{node.record.key, node.record.value,
+                                         node.record.policy, node.sig});
+      } else {
+        for (GridTree::NodeId c : tree.Children(id)) queue.push_back(c);
+      }
+    } else {
+      jobs.push_back(RelaxJob{id});
+    }
+  }
+
+  // Phase 2: derive APS signatures (ABS.Relax), independently per node.
+  std::vector<VoEntry> relaxed(jobs.size());
+  auto relax_one = [&](std::size_t i, Rng* r) {
+    const GridTree::Node& node = tree.GetNode(jobs[i].id);
+    std::vector<std::uint8_t> msg;
+    if (node.is_leaf) {
+      Digest vh = crypto::Sha256::Hash(node.record.value.data(),
+                                       node.record.value.size());
+      msg = RecordMessageFromHash(node.record.key, vh);
+      auto aps = DeriveAps(mvk, node.sig, node.policy, msg, lacked, r);
+      relaxed[i] = InaccessibleRecordEntry{node.record.key, vh, std::move(*aps)};
+    } else {
+      msg = BoxMessage(node.box);
+      auto aps = DeriveAps(mvk, node.sig, node.policy, msg, lacked, r);
+      relaxed[i] = InaccessibleBoxEntry{node.box, std::move(*aps)};
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && jobs.size() > 1) {
+    std::vector<Rng> rngs;
+    for (int t = 0; t < pool->thread_count(); ++t) rngs.emplace_back(rng->NextU64());
+    std::atomic<std::size_t> next{0};
+    pool->ParallelFor(pool->thread_count(), [&](std::size_t t) {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) break;
+        relax_one(i, &rngs[t]);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) relax_one(i, rng);
+  }
+  for (auto& e : relaxed) vo.entries.push_back(std::move(e));
+  return vo;
+}
+
+bool CheckCoverage(const Box& range, const Vo& vo, std::string* error) {
+  std::uint64_t covered = 0;
+  std::vector<Box> boxes;
+  boxes.reserve(vo.entries.size());
+  for (const auto& e : vo.entries) {
+    Box b = EntryRegion(e);
+    if (b.lo.size() != range.lo.size()) {
+      SetError(error, "entry region dimensionality mismatch");
+      return false;
+    }
+    if (!range.ContainsBox(b)) {
+      SetError(error, "entry region outside query range");
+      return false;
+    }
+    for (const Box& prev : boxes) {
+      if (prev.Intersects(b)) {
+        SetError(error, "overlapping entry regions");
+        return false;
+      }
+    }
+    covered += b.Volume();
+    boxes.push_back(b);
+  }
+  if (covered != range.Volume()) {
+    SetError(error, "entry regions do not cover the query range");
+    return false;
+  }
+  return true;
+}
+
+bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
+                   const RoleSet& user_roles, const RoleSet& universe,
+                   const Vo& vo, std::vector<Record>* results,
+                   std::string* error, bool exact_pairings) {
+  return VerifyRangeVoWithLacked(mvk, domain, range, user_roles,
+                                 SuperPolicyRoles(universe, user_roles), vo,
+                                 results, error, exact_pairings);
+}
+
+bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
+                             const Box& range, const RoleSet& user_roles,
+                             const RoleSet& lacked, const Vo& vo,
+                             std::vector<Record>* results, std::string* error,
+                             bool exact_pairings) {
+  if (!CheckCoverage(range, vo, error)) return false;
+  Policy super_policy = Policy::OrOfRoles(lacked);
+
+  for (const auto& entry : vo.entries) {
+    if (const auto* res = std::get_if<ResultEntry>(&entry)) {
+      if (!domain.ContainsPoint(res->key) || !range.Contains(res->key)) {
+        SetError(error, "result key outside range");
+        return false;
+      }
+      if (!res->policy.Evaluate(user_roles)) {
+        SetError(error, "result policy not satisfied by user roles");
+        return false;
+      }
+      auto msg = RecordMessage(res->key, res->value);
+      if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
+        SetError(error, "APP signature verification failed");
+        return false;
+      }
+      if (results != nullptr) {
+        results->push_back(Record{res->key, res->value, res->policy});
+      }
+    } else if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+      if (!domain.ContainsPoint(rec->key)) {
+        SetError(error, "inaccessible record key outside domain");
+        return false;
+      }
+      auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
+      if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
+        SetError(error, "record APS signature verification failed");
+        return false;
+      }
+    } else {
+      const auto& boxe = std::get<InaccessibleBoxEntry>(entry);
+      auto msg = BoxMessage(boxe.box);
+      if (!Abs::Verify(mvk, msg, super_policy, boxe.aps_sig, exact_pairings)) {
+        SetError(error, "box APS signature verification failed");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace apqa::core

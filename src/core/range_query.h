@@ -1,0 +1,50 @@
+// Authenticated range queries over the AP²G-tree (paper §6.1, Algorithm 3).
+#ifndef APQA_CORE_RANGE_QUERY_H_
+#define APQA_CORE_RANGE_QUERY_H_
+
+#include <string>
+
+#include "core/grid_tree.h"
+#include "core/vo.h"
+
+namespace apqa::core {
+
+// SP side: breadth-first VO construction with policy pruning. Nodes fully
+// inside the range that the user cannot access contribute a single APS
+// signature (derived with ABS.Relax, parallelized over `pool` when given).
+Vo BuildRangeVo(const GridTree& tree, const VerifyKey& mvk, const Box& range,
+                const RoleSet& user_roles, const RoleSet& universe, Rng* rng,
+                ThreadPool* pool = nullptr);
+
+// Variant with an explicit relaxation target (the user's lacked-role set).
+// Hierarchical role assignment (§8.1) passes the *reduced* lacked set here,
+// shrinking every APS signature.
+Vo BuildRangeVoWithLacked(const GridTree& tree, const VerifyKey& mvk,
+                          const Box& range, const RoleSet& user_roles,
+                          const RoleSet& lacked, Rng* rng,
+                          ThreadPool* pool = nullptr);
+
+// User side: soundness + completeness verification (Algorithm 3, bottom).
+// On success, appends the accessible result records to `results` (if not
+// null). On failure `error` (if not null) describes the first violated
+// check. `exact_pairings` selects per-column pairing checks instead of the
+// batched verifier.
+bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
+                   const RoleSet& user_roles, const RoleSet& universe,
+                   const Vo& vo, std::vector<Record>* results,
+                   std::string* error, bool exact_pairings = false);
+
+// Variant with an explicit expected super-policy role set (§8.1).
+bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
+                             const Box& range, const RoleSet& user_roles,
+                             const RoleSet& lacked, const Vo& vo,
+                             std::vector<Record>* results, std::string* error,
+                             bool exact_pairings = false);
+
+// Shared helper (also used by join verification): checks that the entry
+// regions are inside `range`, pairwise disjoint, and tile it exactly.
+bool CheckCoverage(const Box& range, const Vo& vo, std::string* error);
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_RANGE_QUERY_H_

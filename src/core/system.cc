@@ -1,0 +1,204 @@
+#include "core/system.h"
+
+#include <stdexcept>
+
+namespace apqa::core {
+
+DataOwner::DataOwner(const RoleSet& role_universe, const Domain& domain,
+                     std::uint64_t seed)
+    : rng_(seed) {
+  if (role_universe.count(kPseudoRole)) {
+    throw std::invalid_argument("Role@NULL is reserved");
+  }
+  keys_.universe = role_universe;
+  keys_.universe.insert(kPseudoRole);
+  keys_.domain = domain;
+  abs::Abs::Setup(&rng_, &msk_, &keys_.mvk);
+  // The DO can sign for every policy over the universe, including Role_∅.
+  sk_do_ = abs::Abs::KeyGen(msk_, keys_.universe, &rng_);
+  cpabe::CpAbe::Setup(&rng_, &cmk_, &keys_.cpk);
+}
+
+UserCredentials DataOwner::EnrollUser(const RoleSet& roles) {
+  for (const auto& r : roles) {
+    if (r == kPseudoRole) throw std::invalid_argument("Role@NULL is reserved");
+    if (!keys_.universe.count(r)) {
+      throw std::invalid_argument("role outside universe: " + r);
+    }
+  }
+  UserCredentials creds;
+  creds.roles = roles;
+  creds.cpabe_sk = cpabe::CpAbe::KeyGen(cmk_, keys_.cpk, roles, &rng_);
+  return creds;
+}
+
+GridTree DataOwner::BuildAds(const std::vector<Record>& records,
+                             ThreadPool* pool) {
+  return GridTree::Build(keys_.mvk, sk_do_, keys_.domain, records, &rng_, pool);
+}
+
+ServiceProvider::ServiceProvider(SystemKeys keys, GridTree tree, int threads)
+    : keys_(std::move(keys)), tree_(std::move(tree)), rng_(/*os seeded*/) {
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void ServiceProvider::AttachJoinTable(GridTree tree_s) {
+  tree_s_ = std::move(tree_s);
+}
+
+Vo ServiceProvider::EqualityQuery(const Point& key, const RoleSet& roles) {
+  return BuildEqualityVo(tree_, keys_.mvk, key, roles, keys_.universe, &rng_);
+}
+
+Vo ServiceProvider::RangeQuery(const Box& range, const RoleSet& roles) {
+  return BuildRangeVo(tree_, keys_.mvk, range, roles, keys_.universe, &rng_,
+                      pool_.get());
+}
+
+JoinVo ServiceProvider::JoinQuery(const Box& range, const RoleSet& roles) {
+  if (!tree_s_.has_value()) {
+    throw std::logic_error("no join table attached");
+  }
+  return BuildJoinVo(tree_, *tree_s_, keys_.mvk, range, roles, keys_.universe,
+                     &rng_, pool_.get());
+}
+
+Vo ServiceProvider::BasicRangeQuery(const Box& range, const RoleSet& roles) {
+  // Repeat the equality protocol for every discrete value in the range.
+  Vo vo;
+  Point cur = range.lo;
+  for (;;) {
+    Vo one = BuildEqualityVo(tree_, keys_.mvk, cur, roles, keys_.universe,
+                             &rng_);
+    vo.entries.push_back(std::move(one.entries[0]));
+    // Advance the odometer.
+    int d = static_cast<int>(cur.size()) - 1;
+    while (d >= 0) {
+      if (cur[d] < range.hi[d]) {
+        ++cur[d];
+        break;
+      }
+      cur[d] = range.lo[d];
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return vo;
+}
+
+JoinVo ServiceProvider::BasicJoinQuery(const Box& range, const RoleSet& roles) {
+  if (!tree_s_.has_value()) {
+    throw std::logic_error("no join table attached");
+  }
+  JoinVo vo;
+  Point cur = range.lo;
+  for (;;) {
+    const GridTree::Node& leaf_r = tree_.GetNode(tree_.LeafAt(cur));
+    if (!leaf_r.policy.Evaluate(roles)) {
+      Vo one = BuildEqualityVo(tree_, keys_.mvk, cur, roles, keys_.universe,
+                               &rng_);
+      vo.r_aps.push_back(std::move(one.entries[0]));
+    } else {
+      const GridTree::Node& leaf_s = tree_s_->GetNode(tree_s_->LeafAt(cur));
+      if (!leaf_s.policy.Evaluate(roles)) {
+        Vo one = BuildEqualityVo(*tree_s_, keys_.mvk, cur, roles,
+                                 keys_.universe, &rng_);
+        vo.s_aps.push_back(std::move(one.entries[0]));
+      } else {
+        vo.pairs.push_back(JoinResultPair{
+            ResultEntry{leaf_r.record.key, leaf_r.record.value,
+                        leaf_r.record.policy, leaf_r.sig},
+            ResultEntry{leaf_s.record.key, leaf_s.record.value,
+                        leaf_s.record.policy, leaf_s.sig}});
+      }
+    }
+    int d = static_cast<int>(cur.size()) - 1;
+    while (d >= 0) {
+      if (cur[d] < range.hi[d]) {
+        ++cur[d];
+        break;
+      }
+      cur[d] = range.lo[d];
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return vo;
+}
+
+cpabe::Envelope ServiceProvider::SealedRangeQuery(const Box& range,
+                                                  const RoleSet& roles) {
+  Vo vo = RangeQuery(range, roles);
+  common::ByteWriter w;
+  vo.Serialize(&w);
+  // Seal under ∧_{a∈roles} a so only a user really holding the claimed role
+  // set can open the response (Algorithm 1/3, last step).
+  Policy transport = Policy::AndOfRoles(roles);
+  return cpabe::Seal(keys_.cpk, transport, w.Take(), &rng_);
+}
+
+cpabe::Envelope ServiceProvider::SealedEqualityQuery(const Point& key,
+                                                     const RoleSet& roles) {
+  Vo vo = EqualityQuery(key, roles);
+  common::ByteWriter w;
+  vo.Serialize(&w);
+  return cpabe::Seal(keys_.cpk, Policy::AndOfRoles(roles), w.Take(), &rng_);
+}
+
+User::User(SystemKeys keys, UserCredentials creds)
+    : keys_(std::move(keys)), creds_(std::move(creds)) {}
+
+bool User::VerifyEquality(const Point& key, const Vo& vo, Record* result,
+                          bool* accessible, std::string* error) const {
+  return VerifyEqualityVo(keys_.mvk, keys_.domain, key, creds_.roles,
+                          keys_.universe, vo, result, accessible, error);
+}
+
+bool User::VerifyRange(const Box& range, const Vo& vo,
+                       std::vector<Record>* results, std::string* error) const {
+  return VerifyRangeVo(keys_.mvk, keys_.domain, range, creds_.roles,
+                       keys_.universe, vo, results, error);
+}
+
+bool User::VerifyJoin(const Box& range, const JoinVo& vo,
+                      std::vector<std::pair<Record, Record>>* results,
+                      std::string* error) const {
+  return VerifyJoinVo(keys_.mvk, keys_.domain, range, creds_.roles,
+                      keys_.universe, vo, results, error);
+}
+
+bool User::OpenAndVerifyRange(const Box& range, const cpabe::Envelope& env,
+                              std::vector<Record>* results,
+                              std::string* error) const {
+  auto plain = cpabe::Open(keys_.cpk, creds_.cpabe_sk, env);
+  if (!plain.has_value()) {
+    if (error != nullptr) *error = "cannot open sealed response";
+    return false;
+  }
+  common::ByteReader r(*plain);
+  Vo vo = Vo::Deserialize(&r);
+  if (!r.ok()) {
+    if (error != nullptr) *error = "malformed sealed VO";
+    return false;
+  }
+  return VerifyRange(range, vo, results, error);
+}
+
+bool User::OpenAndVerifyEquality(const Point& key, const cpabe::Envelope& env,
+                                 Record* result, bool* accessible,
+                                 std::string* error) const {
+  auto plain = cpabe::Open(keys_.cpk, creds_.cpabe_sk, env);
+  if (!plain.has_value()) {
+    if (error != nullptr) *error = "cannot open sealed response";
+    return false;
+  }
+  common::ByteReader r(*plain);
+  Vo vo = Vo::Deserialize(&r);
+  if (!r.ok()) {
+    if (error != nullptr) *error = "malformed sealed VO";
+    return false;
+  }
+  return VerifyEquality(key, vo, result, accessible, error);
+}
+
+}  // namespace apqa::core

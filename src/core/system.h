@@ -1,0 +1,127 @@
+// Three-party system facade (paper §3, Figure 2): DataOwner, ServiceProvider,
+// User.
+//
+//   * The DataOwner generates master keys, enrolls users (CP-ABE decryption
+//     keys for their role sets), signs the ADS (AP²G-tree) and outsources it.
+//   * The ServiceProvider answers equality/range/join queries, constructing
+//     VOs, optionally sealing responses with CP-ABE+AES so only a user who
+//     really holds the claimed roles can read them (impersonation defense).
+//   * The User verifies soundness and completeness of every response.
+//
+// The paper's "Basic" baseline — repeating the equality protocol for every
+// discrete value in a range — is provided for benchmark comparison.
+#ifndef APQA_CORE_SYSTEM_H_
+#define APQA_CORE_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/equality.h"
+#include "core/grid_tree.h"
+#include "core/join_query.h"
+#include "core/range_query.h"
+#include "cpabe/cpabe.h"
+
+namespace apqa::core {
+
+// Public parameters every party knows.
+struct SystemKeys {
+  abs::VerifyKey mvk;
+  cpabe::PublicKey cpk;
+  RoleSet universe;  // the global role set 𝔸, including Role_∅
+  Domain domain;
+};
+
+// Per-user secrets issued by the DO.
+struct UserCredentials {
+  RoleSet roles;
+  cpabe::SecretKey cpabe_sk;
+};
+
+class DataOwner {
+ public:
+  // `role_universe` must not contain Role_∅ (added automatically).
+  DataOwner(const RoleSet& role_universe, const Domain& domain,
+            std::uint64_t seed);
+
+  const SystemKeys& keys() const { return keys_; }
+  UserCredentials EnrollUser(const RoleSet& roles);
+
+  // Builds and signs the AP²G-tree for a table.
+  GridTree BuildAds(const std::vector<Record>& records,
+                    ThreadPool* pool = nullptr);
+
+  // DO-side primitives for the auxiliary index structures (AP²kd-tree,
+  // continuous-attribute ADS).
+  const abs::SigningKey& signing_key() const { return sk_do_; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  Rng rng_;
+  abs::MasterKey msk_;
+  abs::SigningKey sk_do_;
+  cpabe::MasterKey cmk_;
+  SystemKeys keys_;
+};
+
+class ServiceProvider {
+ public:
+  // `threads` > 1 enables the §8.2 parallel relaxation path.
+  ServiceProvider(SystemKeys keys, GridTree tree, int threads = 1);
+
+  // Attaches a second table's ADS for join queries.
+  void AttachJoinTable(GridTree tree_s);
+
+  Vo EqualityQuery(const Point& key, const RoleSet& roles);
+  Vo RangeQuery(const Box& range, const RoleSet& roles);
+  JoinVo JoinQuery(const Box& range, const RoleSet& roles);
+
+  // The paper's Basic baseline: per-cell equality authentication.
+  Vo BasicRangeQuery(const Box& range, const RoleSet& roles);
+  JoinVo BasicJoinQuery(const Box& range, const RoleSet& roles);
+
+  // Full-protocol transport: the serialized VO sealed under ∧_{a∈roles} a
+  // (Algorithm 1 / Algorithm 3, last step).
+  cpabe::Envelope SealedRangeQuery(const Box& range, const RoleSet& roles);
+  cpabe::Envelope SealedEqualityQuery(const Point& key, const RoleSet& roles);
+
+  const GridTree& tree() const { return tree_; }
+
+ private:
+  SystemKeys keys_;
+  GridTree tree_;
+  std::optional<GridTree> tree_s_;
+  Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+class User {
+ public:
+  User(SystemKeys keys, UserCredentials creds);
+
+  const RoleSet& roles() const { return creds_.roles; }
+
+  bool VerifyEquality(const Point& key, const Vo& vo, Record* result,
+                      bool* accessible, std::string* error = nullptr) const;
+  bool VerifyRange(const Box& range, const Vo& vo, std::vector<Record>* results,
+                   std::string* error = nullptr) const;
+  bool VerifyJoin(const Box& range, const JoinVo& vo,
+                  std::vector<std::pair<Record, Record>>* results,
+                  std::string* error = nullptr) const;
+
+  // Opens a sealed range response and verifies it.
+  bool OpenAndVerifyRange(const Box& range, const cpabe::Envelope& env,
+                          std::vector<Record>* results,
+                          std::string* error = nullptr) const;
+  bool OpenAndVerifyEquality(const Point& key, const cpabe::Envelope& env,
+                             Record* result, bool* accessible,
+                             std::string* error = nullptr) const;
+
+ private:
+  SystemKeys keys_;
+  UserCredentials creds_;
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_SYSTEM_H_

@@ -1,0 +1,50 @@
+// Fixed-size thread pool (paper §8.2: acceleration by parallelism).
+//
+// The SP's dominant query-time cost is the set of independent ABS.Relax
+// operations for inaccessible nodes; the pool maps them over worker threads.
+// The DO uses the same pool to parallelize ADS signing.
+#ifndef APQA_CORE_THREAD_POOL_H_
+#define APQA_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace apqa::core {
+
+class ThreadPool {
+ public:
+  // threads == 0 or 1 degenerates to synchronous execution in Submit.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  // Blocks until every submitted task has finished.
+  void WaitAll();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_THREAD_POOL_H_

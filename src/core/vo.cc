@@ -1,0 +1,105 @@
+#include "core/vo.h"
+
+namespace apqa::core {
+
+namespace {
+
+void WritePoint(common::ByteWriter* w, const Point& p) {
+  w->PutU32(static_cast<std::uint32_t>(p.size()));
+  for (auto c : p) w->PutU32(c);
+}
+
+Point ReadPoint(common::ByteReader* r) {
+  std::uint32_t n = r->GetU32();
+  Point p;
+  if (n > 16) return p;  // malformed
+  p.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.push_back(r->GetU32());
+  return p;
+}
+
+}  // namespace
+
+Box EntryRegion(const VoEntry& entry) {
+  if (const auto* res = std::get_if<ResultEntry>(&entry)) {
+    return Box{res->key, res->key};
+  }
+  if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+    return Box{rec->key, rec->key};
+  }
+  return std::get<InaccessibleBoxEntry>(entry).box;
+}
+
+void SerializeEntry(common::ByteWriter* w, const VoEntry& entry) {
+  if (const auto* res = std::get_if<ResultEntry>(&entry)) {
+    w->PutU8(0);
+    WritePoint(w, res->key);
+    w->PutString(res->value);
+    w->PutString(res->policy.ToString());
+    res->app_sig.Serialize(w);
+  } else if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+    w->PutU8(1);
+    WritePoint(w, rec->key);
+    w->PutBytes(rec->value_hash.data(), rec->value_hash.size());
+    rec->aps_sig.Serialize(w);
+  } else {
+    const auto& box = std::get<InaccessibleBoxEntry>(entry);
+    w->PutU8(2);
+    WritePoint(w, box.box.lo);
+    WritePoint(w, box.box.hi);
+    box.aps_sig.Serialize(w);
+  }
+}
+
+VoEntry DeserializeEntry(common::ByteReader* r) {
+  std::uint8_t tag = r->GetU8();
+  switch (tag) {
+    case 0: {
+      ResultEntry e;
+      e.key = ReadPoint(r);
+      e.value = r->GetString();
+      auto parsed = Policy::TryParse(r->GetString());
+      e.policy = parsed.has_value() ? std::move(*parsed)
+                                    : Policy::Var(kPseudoRole);
+      e.app_sig = Signature::Deserialize(r);
+      return e;
+    }
+    case 1: {
+      InaccessibleRecordEntry e;
+      e.key = ReadPoint(r);
+      r->Get(e.value_hash.data(), e.value_hash.size());
+      e.aps_sig = Signature::Deserialize(r);
+      return e;
+    }
+    default: {
+      InaccessibleBoxEntry e;
+      e.box.lo = ReadPoint(r);
+      e.box.hi = ReadPoint(r);
+      e.aps_sig = Signature::Deserialize(r);
+      return e;
+    }
+  }
+}
+
+void Vo::Serialize(common::ByteWriter* w) const {
+  w->PutU32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) SerializeEntry(w, e);
+}
+
+Vo Vo::Deserialize(common::ByteReader* r) {
+  Vo vo;
+  std::uint32_t n = r->GetU32();
+  vo.entries.reserve(std::min<std::uint32_t>(n, 1u << 20));
+  for (std::uint32_t i = 0; i < n && r->ok(); ++i) {
+    vo.entries.push_back(DeserializeEntry(r));
+  }
+  return vo;
+}
+
+std::size_t Vo::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+}  // namespace apqa::core

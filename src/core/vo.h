@@ -1,0 +1,62 @@
+// Verification-object (VO) entry types shared by equality, range, and join
+// query authentication.
+//
+// A VO is a list of entries, each proving one disjoint piece of the query
+// region:
+//   * ResultEntry           — an accessible record with its APP signature;
+//   * InaccessibleRecordEntry — a (possibly pseudo) record the user may not
+//     access: only hash(v) and the APS signature under the user's super
+//     access policy are revealed;
+//   * InaccessibleBoxEntry  — an AP²G-tree node none of whose records are
+//     accessible, proven with the node's APS signature.
+#ifndef APQA_CORE_VO_H_
+#define APQA_CORE_VO_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/app_signature.h"
+#include "core/record.h"
+
+namespace apqa::core {
+
+struct ResultEntry {
+  Point key;
+  std::string value;
+  Policy policy;
+  Signature app_sig;
+};
+
+struct InaccessibleRecordEntry {
+  Point key;
+  Digest value_hash;
+  Signature aps_sig;
+};
+
+struct InaccessibleBoxEntry {
+  Box box;
+  Signature aps_sig;
+};
+
+using VoEntry =
+    std::variant<ResultEntry, InaccessibleRecordEntry, InaccessibleBoxEntry>;
+
+// The region of the query space that an entry accounts for.
+Box EntryRegion(const VoEntry& entry);
+
+void SerializeEntry(common::ByteWriter* w, const VoEntry& entry);
+VoEntry DeserializeEntry(common::ByteReader* r);
+
+struct Vo {
+  std::vector<VoEntry> entries;
+
+  void Serialize(common::ByteWriter* w) const;
+  static Vo Deserialize(common::ByteReader* r);
+  std::size_t SerializedSize() const;
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_VO_H_

@@ -1,0 +1,210 @@
+#include "cpabe/cpabe.h"
+
+#include "crypto/serde.h"
+#include "crypto/sha256.h"
+#include "policy/msp.h"
+
+namespace apqa::cpabe {
+
+using crypto::HashToFr;
+using policy::BuildMsp;
+using policy::Msp;
+using policy::SatisfyingVector;
+
+G1 PublicKey::HashG1(const std::string& attr) const {
+  return g1.ScalarMul(HashToFr("cpabe-attr:" + attr));
+}
+
+G2 PublicKey::HashG2(const std::string& attr) const {
+  return g2.ScalarMul(HashToFr("cpabe-attr:" + attr));
+}
+
+void CpAbe::Setup(Rng* rng, MasterKey* mk, PublicKey* pk) {
+  mk->alpha = rng->NextNonZeroFr();
+  mk->a = rng->NextNonZeroFr();
+  pk->g1 = crypto::G1Mul(rng->NextNonZeroFr());
+  pk->g2 = crypto::G2Mul(rng->NextNonZeroFr());
+  pk->g1_a = pk->g1.ScalarMul(mk->a);
+  crypto::Limbs<4> al = mk->alpha.ToCanonical();
+  pk->egg_alpha = crypto::Pairing(pk->g1, pk->g2)
+                      .Pow(std::span<const crypto::u64>(al.data(), 4));
+}
+
+SecretKey CpAbe::KeyGen(const MasterKey& mk, const PublicKey& pk,
+                        const RoleSet& attrs, Rng* rng) {
+  SecretKey sk;
+  Fr t = rng->NextNonZeroFr();
+  sk.k = pk.g2.ScalarMul(mk.alpha + mk.a * t);
+  sk.l = pk.g2.ScalarMul(t);
+  for (const auto& x : attrs) {
+    sk.k_attr[x] = pk.HashG2(x).ScalarMul(t);
+  }
+  return sk;
+}
+
+Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
+                          const Policy& policy, Rng* rng) {
+  Msp msp = BuildMsp(policy);
+  std::size_t rows = msp.Rows(), cols = msp.Cols();
+
+  Ciphertext ct;
+  ct.policy = policy;
+  Fr s = rng->NextNonZeroFr();
+  std::vector<Fr> u(cols);
+  u[0] = s;
+  for (std::size_t j = 1; j < cols; ++j) u[j] = rng->NextFr();
+
+  crypto::Limbs<4> sl = s.ToCanonical();
+  ct.c_tilde = m * pk.egg_alpha.Pow(std::span<const crypto::u64>(sl.data(), 4));
+  ct.c_prime = pk.g1.ScalarMul(s);
+
+  ct.c.resize(rows);
+  ct.d.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    Fr lambda = Fr::Zero();
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (msp.m[i][j] == 1) {
+        lambda = lambda + u[j];
+      } else if (msp.m[i][j] == -1) {
+        lambda = lambda - u[j];
+      }
+    }
+    Fr ri = rng->NextNonZeroFr();
+    ct.c[i] = pk.g1_a.ScalarMul(lambda) - pk.HashG1(msp.row_labels[i]).ScalarMul(ri);
+    ct.d[i] = pk.g1.ScalarMul(ri);
+  }
+  return ct;
+}
+
+std::optional<GT> CpAbe::Decrypt(const PublicKey& pk, const SecretKey& sk,
+                                 const Ciphertext& ct) {
+  (void)pk;
+  Msp msp = BuildMsp(ct.policy);
+  if (ct.c.size() != msp.Rows() || ct.d.size() != msp.Rows()) {
+    return std::nullopt;
+  }
+  RoleSet owned;
+  for (const auto& [attr, key] : sk.k_attr) owned.insert(attr);
+  auto v = SatisfyingVector(ct.policy, owned);
+  if (!v.has_value()) return std::nullopt;
+
+  // e(C', K) / prod_{i: v_i=1} e(C_i, L) * e(D_i, K_{rho(i)})
+  //   == e(g1, g2)^{alpha * s}.
+  std::vector<std::pair<G1, G2>> pairs;
+  pairs.emplace_back(ct.c_prime, sk.k);
+  for (std::size_t i = 0; i < msp.Rows(); ++i) {
+    if ((*v)[i] == 0) continue;
+    pairs.emplace_back(-ct.c[i], sk.l);
+    pairs.emplace_back(-ct.d[i], sk.k_attr.at(msp.row_labels[i]));
+  }
+  GT blind = crypto::MultiPairing(pairs);
+  return ct.c_tilde * blind.Inverse();
+}
+
+void Ciphertext::Serialize(common::ByteWriter* w) const {
+  w->PutString(policy.ToString());
+  crypto::WriteGT(w, c_tilde);
+  crypto::WriteG1(w, c_prime);
+  w->PutU32(static_cast<std::uint32_t>(c.size()));
+  for (const G1& e : c) crypto::WriteG1(w, e);
+  w->PutU32(static_cast<std::uint32_t>(d.size()));
+  for (const G1& e : d) crypto::WriteG1(w, e);
+}
+
+Ciphertext Ciphertext::Deserialize(common::ByteReader* r) {
+  Ciphertext ct;
+  // Malformed/truncated input must not throw out of deserialization; the
+  // reader's ok() flag carries the error.
+  auto parsed = Policy::TryParse(r->GetString());
+  ct.policy = parsed.has_value() ? std::move(*parsed) : Policy::Var("?");
+  ct.c_tilde = crypto::ReadGT(r);
+  ct.c_prime = crypto::ReadG1(r);
+  std::uint32_t nc = r->GetU32();
+  for (std::uint32_t i = 0; i < nc && r->ok(); ++i) {
+    ct.c.push_back(crypto::ReadG1(r));
+  }
+  std::uint32_t nd = r->GetU32();
+  for (std::uint32_t i = 0; i < nd && r->ok(); ++i) {
+    ct.d.push_back(crypto::ReadG1(r));
+  }
+  return ct;
+}
+
+std::size_t Ciphertext::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+void Envelope::Serialize(common::ByteWriter* w) const {
+  key_ct.Serialize(w);
+  w->PutBytes(nonce.data(), nonce.size());
+  w->PutU32(static_cast<std::uint32_t>(body.size()));
+  w->PutBytes(body.data(), body.size());
+}
+
+Envelope Envelope::Deserialize(common::ByteReader* r) {
+  Envelope env;
+  env.key_ct = Ciphertext::Deserialize(r);
+  r->Get(env.nonce.data(), env.nonce.size());
+  std::uint32_t n = r->GetU32();
+  if (!r->ok() || n > (1u << 28)) return env;  // reject absurd lengths
+  env.body.resize(n);
+  r->Get(env.body.data(), n);
+  return env;
+}
+
+std::size_t Envelope::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+namespace {
+
+// Derives AES key material from a GT session element.
+void DeriveKeyNonce(const GT& session, crypto::AesKey* key,
+                    crypto::AesNonce* nonce) {
+  common::ByteWriter w;
+  // Serialize all twelve Fp coefficients in canonical form.
+  const crypto::Fp* coeffs[12] = {
+      &session.c0.c0.c0, &session.c0.c0.c1, &session.c0.c1.c0,
+      &session.c0.c1.c1, &session.c0.c2.c0, &session.c0.c2.c1,
+      &session.c1.c0.c0, &session.c1.c0.c1, &session.c1.c1.c0,
+      &session.c1.c1.c1, &session.c1.c2.c0, &session.c1.c2.c1};
+  for (const auto* c : coeffs) crypto::WriteFp(&w, *c);
+  crypto::Digest d = crypto::Sha256::Hash(w.data().data(), w.size());
+  std::copy(d.begin(), d.begin() + 16, key->begin());
+  std::copy(d.begin() + 16, d.begin() + 28, nonce->begin());
+}
+
+}  // namespace
+
+Envelope Seal(const PublicKey& pk, const Policy& policy,
+              const std::vector<std::uint8_t>& plaintext, Rng* rng) {
+  // Random GT session element: e(g1, g2)^rho for random rho.
+  Fr rho = rng->NextNonZeroFr();
+  crypto::Limbs<4> rl = rho.ToCanonical();
+  GT session = pk.egg_alpha.Pow(std::span<const crypto::u64>(rl.data(), 4));
+
+  Envelope env;
+  env.key_ct = CpAbe::Encrypt(pk, session, policy, rng);
+  crypto::AesKey key;
+  DeriveKeyNonce(session, &key, &env.nonce);
+  env.body = crypto::AesCtr(key, env.nonce, plaintext);
+  return env;
+}
+
+std::optional<std::vector<std::uint8_t>> Open(const PublicKey& pk,
+                                              const SecretKey& sk,
+                                              const Envelope& env) {
+  std::optional<GT> session = CpAbe::Decrypt(pk, sk, env.key_ct);
+  if (!session.has_value()) return std::nullopt;
+  crypto::AesKey key;
+  crypto::AesNonce nonce;
+  DeriveKeyNonce(*session, &key, &nonce);
+  if (nonce != env.nonce) return std::nullopt;
+  return crypto::AesCtr(key, env.nonce, env.body);
+}
+
+}  // namespace apqa::cpabe

@@ -1,0 +1,37 @@
+// AES-128 in counter (CTR) mode.
+//
+// Used for the hybrid envelope of §5.1: query results and VOs are encrypted
+// under a fresh AES key which is itself wrapped with CP-ABE under the policy
+// ∧_{a∈𝒜} a, so only a user genuinely holding the claimed role set can read
+// the response.
+#ifndef APQA_CRYPTO_AES_H_
+#define APQA_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace apqa::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesNonce = std::array<std::uint8_t, 12>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  // Encrypts one 16-byte block in place (forward cipher only; CTR mode needs
+  // no inverse).
+  void EncryptBlock(std::uint8_t block[16]) const;
+
+ private:
+  std::array<std::uint32_t, 44> round_keys_;
+};
+
+// CTR-mode transform (encrypt == decrypt). Counter starts at 0.
+std::vector<std::uint8_t> AesCtr(const AesKey& key, const AesNonce& nonce,
+                                 const std::vector<std::uint8_t>& data);
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_AES_H_

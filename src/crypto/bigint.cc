@@ -1,0 +1,181 @@
+#include "crypto/bigint.h"
+
+#include <stdexcept>
+
+namespace apqa::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigInt::BigInt(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt BigInt::FromLimbs(const u64* limbs, std::size_t n) {
+  BigInt r;
+  r.limbs_.assign(limbs, limbs + n);
+  r.Trim();
+  return r;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  u64 top = limbs_.back();
+  std::size_t b = 0;
+  while (top != 0) {
+    top >>= 1;
+    ++b;
+  }
+  return (limbs_.size() - 1) * 64 + b;
+}
+
+int BigInt::Bit(std::size_t i) const {
+  std::size_t w = i / 64;
+  if (w >= limbs_.size()) return 0;
+  return static_cast<int>((limbs_[w] >> (i % 64)) & 1);
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  r.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 t = carry;
+    if (i < limbs_.size()) t += limbs_[i];
+    if (i < o.limbs_.size()) t += o.limbs_[i];
+    r.limbs_[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  r.limbs_[n] = carry;
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  if (Compare(o) < 0) throw std::invalid_argument("BigInt underflow");
+  BigInt r;
+  r.limbs_.resize(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u128 t = static_cast<u128>(limbs_[i]) -
+             (i < o.limbs_.size() ? o.limbs_[i] : 0) - borrow;
+    r.limbs_[i] = static_cast<u64>(t);
+    borrow = static_cast<u64>(t >> 64) & 1;
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (IsZero() || o.IsZero()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 t = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+               r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<u64>(t);
+      carry = static_cast<u64>(t >> 64);
+    }
+    r.limbs_[i + o.limbs_.size()] += carry;
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::ShiftLeft(std::size_t bits) const {
+  if (IsZero()) return BigInt();
+  std::size_t words = bits / 64, rem = bits % 64;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + words + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + words] |= rem == 0 ? limbs_[i] : (limbs_[i] << rem);
+    if (rem != 0 && i + words + 1 < r.limbs_.size()) {
+      r.limbs_[i + words + 1] |= limbs_[i] >> (64 - rem);
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+int BigInt::Compare(const BigInt& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  if (b.IsZero()) throw std::invalid_argument("BigInt division by zero");
+  *q = BigInt();
+  *r = BigInt();
+  if (a.Compare(b) < 0) {
+    *r = a;
+    return;
+  }
+  // Simple shift-subtract long division; only used at init time.
+  std::size_t shift = a.BitLength() - b.BitLength();
+  BigInt cur = b.ShiftLeft(shift);
+  BigInt rem = a;
+  BigInt quotient;
+  quotient.limbs_.assign(shift / 64 + 1, 0);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (rem.Compare(cur) >= 0) {
+      rem = rem - cur;
+      quotient.limbs_[i / 64] |= (u64{1} << (i % 64));
+    }
+    if (i > 0) {
+      // Shift cur right by 1.
+      for (std::size_t w = 0; w + 1 < cur.limbs_.size(); ++w) {
+        cur.limbs_[w] = (cur.limbs_[w] >> 1) | (cur.limbs_[w + 1] << 63);
+      }
+      if (!cur.limbs_.empty()) cur.limbs_.back() >>= 1;
+      cur.Trim();
+    }
+  }
+  quotient.Trim();
+  *q = quotient;
+  *r = rem;
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q, r;
+  DivMod(*this, o, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt q, r;
+  DivMod(*this, o, &q, &r);
+  return r;
+}
+
+void BigInt::ToLimbs(u64* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = i < limbs_.size() ? limbs_[i] : 0;
+  }
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int sh = 60; sh >= 0; sh -= 4) {
+      s.push_back(kDigits[(limbs_[i] >> sh) & 0xf]);
+    }
+  }
+  std::size_t nz = s.find_first_not_of('0');
+  return s.substr(nz);
+}
+
+}  // namespace apqa::crypto

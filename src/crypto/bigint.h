@@ -1,0 +1,54 @@
+// Minimal arbitrary-precision unsigned integer.
+//
+// Used only at library-initialization time to derive pairing constants (for
+// example the hard part of the BLS12-381 final exponentiation,
+// (p^4 - p^2 + 1) / r) by exact integer arithmetic, so that no hand-copied
+// multi-hundred-digit constant can silently be wrong. Not used on any hot
+// path.
+#ifndef APQA_CRYPTO_BIGINT_H_
+#define APQA_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apqa::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+  // Little-endian 64-bit limbs.
+  static BigInt FromLimbs(const std::uint64_t* limbs, std::size_t n);
+
+  bool IsZero() const { return limbs_.empty(); }
+  std::size_t BitLength() const;
+  int Bit(std::size_t i) const;
+
+  BigInt operator+(const BigInt& o) const;
+  // Requires *this >= o.
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  // Exact or flooring division; remainder available via DivMod.
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+
+  BigInt ShiftLeft(std::size_t bits) const;
+  int Compare(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+
+  // Copies min(n, limbs) little-endian limbs into out, zero padding the rest.
+  void ToLimbs(std::uint64_t* out, std::size_t n) const;
+
+  std::string ToHex() const;
+
+ private:
+  void Trim();
+  // Little-endian, no trailing zero limbs.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_BIGINT_H_

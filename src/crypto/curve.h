@@ -1,0 +1,190 @@
+// Short Weierstrass curve arithmetic (a = 0) in Jacobian coordinates,
+// generic over the coordinate field. Instantiated for G1 (over Fp) and
+// G2 (over Fp2) of BLS12-381, and for the untwisted image of G2 over Fp12
+// inside the Miller loop.
+#ifndef APQA_CRYPTO_CURVE_H_
+#define APQA_CRYPTO_CURVE_H_
+
+#include "crypto/fp2.h"
+
+namespace apqa::crypto {
+
+template <typename F>
+struct CurvePoint {
+  // Jacobian coordinates (X/Z^2, Y/Z^3); Z == 0 encodes infinity.
+  F x, y, z;
+
+  static CurvePoint Infinity() { return {F::Zero(), F::One(), F::Zero()}; }
+
+  static CurvePoint FromAffine(const F& ax, const F& ay) {
+    return {ax, ay, F::One()};
+  }
+
+  bool IsInfinity() const { return z.IsZero(); }
+
+  CurvePoint operator-() const { return {x, -y, z}; }
+
+  CurvePoint Double() const {
+    if (IsInfinity()) return *this;
+    // dbl-2009-l formulas for a = 0.
+    F a = x.Square();
+    F b = y.Square();
+    F c = b.Square();
+    F t = (x + b).Square() - a - c;
+    F d = t + t;
+    F e = a + a + a;
+    F f = e.Square();
+    F x3 = f - (d + d);
+    F c8 = c + c;
+    c8 = c8 + c8;
+    c8 = c8 + c8;
+    F y3 = e * (d - x3) - c8;
+    F yz = y * z;
+    F z3 = yz + yz;
+    return {x3, y3, z3};
+  }
+
+  CurvePoint operator+(const CurvePoint& o) const {
+    if (IsInfinity()) return o;
+    if (o.IsInfinity()) return *this;
+    // add-2007-bl general Jacobian addition.
+    F z1z1 = z.Square();
+    F z2z2 = o.z.Square();
+    F u1 = x * z2z2;
+    F u2 = o.x * z1z1;
+    F s1 = y * o.z * z2z2;
+    F s2 = o.y * z * z1z1;
+    if (u1 == u2) {
+      if (s1 == s2) return Double();
+      return Infinity();
+    }
+    F h = u2 - u1;
+    F i = (h + h).Square();
+    F j = h * i;
+    F rr = (s2 - s1);
+    rr = rr + rr;
+    F v = u1 * i;
+    F x3 = rr.Square() - j - (v + v);
+    F s1j = s1 * j;
+    F y3 = rr * (v - x3) - (s1j + s1j);
+    F z3 = ((z + o.z).Square() - z1z1 - z2z2) * h;
+    return {x3, y3, z3};
+  }
+
+  CurvePoint operator-(const CurvePoint& o) const { return *this + (-o); }
+
+  // Scalar multiplication by a canonical Fr scalar. Uses a width-4 wNAF
+  // (≈25% fewer additions than double-and-add). Not constant time; this
+  // library models a data-management protocol, not a side-channel-hardened
+  // production signer.
+  CurvePoint ScalarMul(const Fr& k) const {
+    Limbs<4> e = k.ToCanonical();
+    if (IsZeroLimbs<4>(e)) return Infinity();
+
+    // Recode into width-4 non-adjacent form: digits in {±1, ±3, ..., ±15}.
+    // One extra limb absorbs the possible carry out of the top bit.
+    Limbs<5> n{};
+    for (int i = 0; i < 4; ++i) n[i] = e[i];
+    signed char digits[5 * 64 + 1] = {0};
+    int len = 0;
+    while (!IsZeroLimbs<5>(n)) {
+      int d = 0;
+      if (n[0] & 1) {
+        d = static_cast<int>(n[0] & 15);
+        if (d >= 8) d -= 16;
+        if (d > 0) {
+          Limbs<5> v{};
+          v[0] = static_cast<u64>(d);
+          SubLimbs<5>(n, v, &n);
+        } else {
+          Limbs<5> v{};
+          v[0] = static_cast<u64>(-d);
+          AddLimbs<5>(n, v, &n);
+        }
+      }
+      digits[len++] = static_cast<signed char>(d);
+      Shr1Limbs<5>(&n);
+    }
+
+    // Precompute odd multiples P, 3P, ..., 15P.
+    CurvePoint table[8];
+    table[0] = *this;
+    CurvePoint twice = Double();
+    for (int i = 1; i < 8; ++i) table[i] = table[i - 1] + twice;
+
+    CurvePoint acc = Infinity();
+    for (int i = len; i-- > 0;) {
+      acc = acc.Double();
+      int d = digits[i];
+      if (d > 0) {
+        acc = acc + table[d / 2];
+      } else if (d < 0) {
+        acc = acc - table[(-d) / 2];
+      }
+    }
+    return acc;
+  }
+
+  // Reference double-and-add implementation (kept for cross-validation in
+  // tests).
+  CurvePoint ScalarMulBinary(const Fr& k) const {
+    Limbs<4> e = k.ToCanonical();
+    CurvePoint acc = Infinity();
+    std::size_t bits = BitLengthLimbs<4>(e);
+    for (std::size_t i = bits; i-- > 0;) {
+      acc = acc.Double();
+      if (BitLimbs<4>(e, i)) acc = acc + *this;
+    }
+    return acc;
+  }
+
+  // Normalizes to affine coordinates; infinity maps to (0, 0, 0).
+  void ToAffine(F* ax, F* ay) const {
+    if (IsInfinity()) {
+      *ax = F::Zero();
+      *ay = F::Zero();
+      return;
+    }
+    F zi = z.Inverse();
+    F zi2 = zi.Square();
+    *ax = x * zi2;
+    *ay = y * zi2 * zi;
+  }
+
+  bool operator==(const CurvePoint& o) const {
+    if (IsInfinity() || o.IsInfinity()) {
+      return IsInfinity() == o.IsInfinity();
+    }
+    // Cross-multiplied comparison avoids inversions.
+    F z1z1 = z.Square();
+    F z2z2 = o.z.Square();
+    if (x * z2z2 != o.x * z1z1) return false;
+    return y * o.z * z2z2 == o.y * z * z1z1;
+  }
+  bool operator!=(const CurvePoint& o) const { return !(*this == o); }
+
+  // Checks y^2 == x^3 + b (affine form) for a given curve constant.
+  bool OnCurve(const F& b) const {
+    if (IsInfinity()) return true;
+    F ax, ay;
+    ToAffine(&ax, &ay);
+    return ay.Square() == ax.Square() * ax + b;
+  }
+};
+
+using G1 = CurvePoint<Fp>;
+using G2 = CurvePoint<Fp2>;
+
+// Standard generators and curve constants.
+const G1& G1Generator();
+const G2& G2Generator();
+Fp G1CurveB();    // 4
+Fp2 G2CurveB();   // 4 * (1 + i)
+
+// g^k for the standard generators.
+G1 G1Mul(const Fr& k);
+G2 G2Mul(const Fr& k);
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_CURVE_H_

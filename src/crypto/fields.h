@@ -1,0 +1,37 @@
+// Concrete prime fields of the BLS12-381 pairing-friendly curve.
+//
+//   Fp — 381-bit base field (6 limbs)
+//   Fr — 255-bit scalar field (4 limbs), the order of G1/G2/GT
+//
+// The curve constants are validated at test time: the standard generators
+// must satisfy the curve equations and be annihilated by the group order r.
+#ifndef APQA_CRYPTO_FIELDS_H_
+#define APQA_CRYPTO_FIELDS_H_
+
+#include "crypto/prime_field.h"
+
+namespace apqa::crypto {
+
+struct FpTag {
+  static constexpr std::size_t kLimbs = 6;
+  static constexpr Limbs<6> kModulus = {
+      0xb9feffffffffaaab, 0x1eabfffeb153ffff, 0x6730d2a0f6b0f624,
+      0x64774b84f38512bf, 0x4b1ba7b6434bacd7, 0x1a0111ea397fe69a};
+};
+
+struct FrTag {
+  static constexpr std::size_t kLimbs = 4;
+  static constexpr Limbs<4> kModulus = {
+      0xffffffff00000001, 0x53bda402fffe5bfe, 0x3339d80809a1d805,
+      0x73eda753299d7d48};
+};
+
+using Fp = PrimeField<FpTag>;
+using Fr = PrimeField<FrTag>;
+
+// |u| for the BLS12-381 curve parameter u = -0xd201000000010000.
+inline constexpr u64 kBlsParamAbs = 0xd201000000010000ULL;
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_FIELDS_H_

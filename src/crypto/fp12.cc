@@ -1,0 +1,178 @@
+#include "crypto/fp12.h"
+
+#include <array>
+
+#include "crypto/bigint.h"
+
+namespace apqa::crypto {
+
+namespace {
+
+// Frobenius coefficients gamma_i = xi^(i * (p - 1) / 6) for i in [0, 6).
+const std::array<Fp2, 6>& FrobeniusGammas() {
+  static const std::array<Fp2, 6> gammas = [] {
+    // (p - 1) / 6 as a limb exponent.
+    BigInt p = BigInt::FromLimbs(FpTag::kModulus.data(), 6);
+    BigInt e = (p - BigInt(1)) / BigInt(6);
+    u64 limbs[6];
+    e.ToLimbs(limbs, 6);
+    std::array<Fp2, 6> g;
+    g[0] = Fp2::One();
+    g[1] = Fp2::Xi().Pow(std::span<const u64>(limbs, 6));
+    for (int i = 2; i < 6; ++i) g[i] = g[i - 1] * g[1];
+    return g;
+  }();
+  return gammas;
+}
+
+}  // namespace
+
+Fp12 Fp12::Frobenius() const {
+  // View the element as sum_{i=0}^{5} e_i w^i with e_i in Fp2:
+  //   e_0 = c0.c0, e_2 = c0.c1, e_4 = c0.c2 (even powers, via v = w^2)
+  //   e_1 = c1.c0, e_3 = c1.c1, e_5 = c1.c2 (odd powers)
+  // Frobenius maps e_i -> conj(e_i) * gamma_i.
+  const auto& g = FrobeniusGammas();
+  Fp12 r;
+  r.c0.c0 = c0.c0.Conjugate();
+  r.c0.c1 = c0.c1.Conjugate() * g[2];
+  r.c0.c2 = c0.c2.Conjugate() * g[4];
+  r.c1.c0 = c1.c0.Conjugate() * g[1];
+  r.c1.c1 = c1.c1.Conjugate() * g[3];
+  r.c1.c2 = c1.c2.Conjugate() * g[5];
+  return r;
+}
+
+namespace {
+
+// Squaring in Fp4 = Fp2[y]/(y^2 - xi): (a + by)^2 = (a^2 + xi b^2) + 2ab y,
+// with 2ab computed as (a+b)^2 - a^2 - b^2.
+void Fp4Square(const Fp2& a, const Fp2& b, Fp2* c0, Fp2* c1) {
+  Fp2 a2 = a.Square();
+  Fp2 b2 = b.Square();
+  *c1 = (a + b).Square() - a2 - b2;
+  *c0 = a2 + b2.MulByXi();
+}
+
+}  // namespace
+
+Fp12 Fp12::CyclotomicSquare() const {
+  // Granger-Scott, "Faster squaring in the cyclotomic subgroup of sixth
+  // degree extensions". Coefficient naming follows the common
+  // 2-over-3-over-2 tower implementation:
+  //   z0 = c0.c0, z4 = c0.c1, z3 = c0.c2,
+  //   z2 = c1.c0, z1 = c1.c1, z5 = c1.c2.
+  Fp2 z0 = c0.c0, z4 = c0.c1, z3 = c0.c2;
+  Fp2 z2 = c1.c0, z1 = c1.c1, z5 = c1.c2;
+
+  Fp2 t0, t1;
+  Fp4Square(z0, z1, &t0, &t1);
+  // z0' = 3 t0 - 2 z0 ; z1' = 3 t1 + 2 z1.
+  z0 = (t0 - z0).Double() + t0;
+  z1 = (t1 + z1).Double() + t1;
+
+  Fp2 t2, t3, t4, t5;
+  Fp4Square(z2, z3, &t2, &t3);
+  Fp4Square(z4, z5, &t4, &t5);
+  // z4' = 3 t2 - 2 z4 ; z5' = 3 t3 + 2 z5.
+  z4 = (t2 - z4).Double() + t2;
+  z5 = (t3 + z5).Double() + t3;
+  // z2' = 3 xi t5 + 2 z2 ; z3' = 3 t4 - 2 z3.
+  Fp2 t5x = t5.MulByXi();
+  z2 = (t5x + z2).Double() + t5x;
+  z3 = (t4 - z3).Double() + t4;
+
+  Fp12 r;
+  r.c0.c0 = z0;
+  r.c0.c1 = z4;
+  r.c0.c2 = z3;
+  r.c1.c0 = z2;
+  r.c1.c1 = z1;
+  r.c1.c2 = z5;
+  return r;
+}
+
+Fp12 Fp12::PowCyclotomic(std::span<const u64> e) const {
+  std::size_t bits = 0;
+  for (std::size_t i = e.size(); i-- > 0;) {
+    if (e[i] != 0) {
+      u64 t = e[i];
+      bits = i * 64;
+      while (t) {
+        t >>= 1;
+        ++bits;
+      }
+      break;
+    }
+  }
+  if (bits == 0) return One();
+  // 4-bit window with cyclotomic squarings between windows.
+  std::array<Fp12, 16> table;
+  table[0] = One();
+  table[1] = *this;
+  for (int i = 2; i < 16; ++i) table[i] = table[i - 1] * *this;
+  std::size_t windows = (bits + 3) / 4;
+  Fp12 acc = One();
+  bool started = false;
+  for (std::size_t wi = windows; wi-- > 0;) {
+    if (started) {
+      for (int k = 0; k < 4; ++k) acc = acc.CyclotomicSquare();
+    }
+    std::size_t lo = wi * 4;
+    unsigned idx = 0;
+    for (int k = 3; k >= 0; --k) {
+      std::size_t bit = lo + static_cast<std::size_t>(k);
+      idx <<= 1;
+      if (bit < bits) idx |= (e[bit / 64] >> (bit % 64)) & 1;
+    }
+    if (idx != 0) {
+      acc = started ? acc * table[idx] : table[idx];
+      started = true;
+    }
+  }
+  return acc;
+}
+
+Fp12 Fp12::Pow(std::span<const u64> e) const {
+  std::size_t bits = 0;
+  for (std::size_t i = e.size(); i-- > 0;) {
+    if (e[i] != 0) {
+      u64 t = e[i];
+      bits = i * 64;
+      while (t) {
+        t >>= 1;
+        ++bits;
+      }
+      break;
+    }
+  }
+  if (bits == 0) return One();
+
+  // 4-bit fixed window.
+  std::array<Fp12, 16> table;
+  table[0] = One();
+  table[1] = *this;
+  for (int i = 2; i < 16; ++i) table[i] = table[i - 1] * *this;
+
+  std::size_t windows = (bits + 3) / 4;
+  Fp12 acc = One();
+  for (std::size_t wi = windows; wi-- > 0;) {
+    for (int k = 0; k < 4; ++k) acc = acc.Square();
+    std::size_t lo = wi * 4;
+    unsigned idx = 0;
+    for (int k = 3; k >= 0; --k) {
+      std::size_t bit = lo + static_cast<std::size_t>(k);
+      idx <<= 1;
+      if (bit < bits) idx |= (e[bit / 64] >> (bit % 64)) & 1;
+    }
+    if (idx != 0) acc = acc * table[idx];
+  }
+  return acc;
+}
+
+Fp12 Fp12::PowBlsParam() const {
+  u64 e[1] = {kBlsParamAbs};
+  return Pow(std::span<const u64>(e, 1));
+}
+
+}  // namespace apqa::crypto

@@ -1,0 +1,76 @@
+// Quadratic extension Fp12 = Fp6[w] / (w^2 - v).
+//
+// This is the target field of the BLS12-381 pairing. In addition to generic
+// tower arithmetic it provides the Frobenius endomorphism (used by the final
+// exponentiation) computed against the alternative representation
+// Fp12 = Fp2[w] / (w^6 - xi).
+#ifndef APQA_CRYPTO_FP12_H_
+#define APQA_CRYPTO_FP12_H_
+
+#include <span>
+
+#include "crypto/fp6.h"
+
+namespace apqa::crypto {
+
+struct Fp12 {
+  Fp6 c0, c1;
+
+  static Fp12 Zero() { return {Fp6::Zero(), Fp6::Zero()}; }
+  static Fp12 One() { return {Fp6::One(), Fp6::Zero()}; }
+
+  bool IsZero() const { return c0.IsZero() && c1.IsZero(); }
+  bool IsOne() const { return *this == One(); }
+  bool operator==(const Fp12& o) const { return c0 == o.c0 && c1 == o.c1; }
+  bool operator!=(const Fp12& o) const { return !(*this == o); }
+
+  Fp12 operator+(const Fp12& o) const { return {c0 + o.c0, c1 + o.c1}; }
+  Fp12 operator-(const Fp12& o) const { return {c0 - o.c0, c1 - o.c1}; }
+  Fp12 operator-() const { return {-c0, -c1}; }
+
+  Fp12 operator*(const Fp12& o) const {
+    Fp6 t0 = c0 * o.c0;
+    Fp6 t1 = c1 * o.c1;
+    Fp6 t2 = (c0 + c1) * (o.c0 + o.c1);
+    return {t0 + t1.MulByV(), t2 - t0 - t1};
+  }
+
+  Fp12 Square() const {
+    // Complex squaring over the quadratic extension.
+    Fp6 t = c0 * c1;
+    Fp6 a = (c0 + c1) * (c0 + c1.MulByV()) - t - t.MulByV();
+    return {a, t + t};
+  }
+
+  // Conjugation over Fp6; equals the p^6-power Frobenius.
+  Fp12 Conjugate() const { return {c0, -c1}; }
+
+  Fp12 Inverse() const {
+    Fp6 d = (c0.Square() - c1.Square().MulByV()).Inverse();
+    return {c0 * d, -(c1 * d)};
+  }
+
+  // p-power Frobenius endomorphism.
+  Fp12 Frobenius() const;
+
+  // Granger-Scott squaring, valid only for elements of the cyclotomic
+  // subgroup (everything after the easy part of the final exponentiation).
+  // ~2x faster than the generic Square(); equivalence with Square() on
+  // cyclotomic elements is unit-tested.
+  Fp12 CyclotomicSquare() const;
+
+  // Exponentiation using cyclotomic squarings; requires *this to be in the
+  // cyclotomic subgroup.
+  Fp12 PowCyclotomic(std::span<const u64> e) const;
+
+  // Generic exponentiation by a little-endian limb span, MSB first with a
+  // 4-bit window.
+  Fp12 Pow(std::span<const u64> e) const;
+
+  // Exponentiation by the curve parameter |u| = kBlsParamAbs.
+  Fp12 PowBlsParam() const;
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_FP12_H_

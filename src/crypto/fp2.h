@@ -1,0 +1,69 @@
+// Quadratic extension Fp2 = Fp[i] / (i^2 + 1).
+//
+// The non-residue used to build Fp6 on top of Fp2 is xi = 1 + i.
+#ifndef APQA_CRYPTO_FP2_H_
+#define APQA_CRYPTO_FP2_H_
+
+#include <span>
+
+#include "crypto/fields.h"
+
+namespace apqa::crypto {
+
+struct Fp2 {
+  Fp c0, c1;
+
+  static Fp2 Zero() { return {Fp::Zero(), Fp::Zero()}; }
+  static Fp2 One() { return {Fp::One(), Fp::Zero()}; }
+  // xi = 1 + i, the cubic non-residue for the Fp6 tower.
+  static Fp2 Xi() { return {Fp::One(), Fp::One()}; }
+
+  bool IsZero() const { return c0.IsZero() && c1.IsZero(); }
+  bool operator==(const Fp2& o) const { return c0 == o.c0 && c1 == o.c1; }
+  bool operator!=(const Fp2& o) const { return !(*this == o); }
+
+  Fp2 operator+(const Fp2& o) const { return {c0 + o.c0, c1 + o.c1}; }
+  Fp2 operator-(const Fp2& o) const { return {c0 - o.c0, c1 - o.c1}; }
+  Fp2 operator-() const { return {-c0, -c1}; }
+  Fp2 Double() const { return {c0 + c0, c1 + c1}; }
+
+  Fp2 operator*(const Fp2& o) const {
+    // Karatsuba: 3 base multiplications.
+    Fp t0 = c0 * o.c0;
+    Fp t1 = c1 * o.c1;
+    Fp t2 = (c0 + c1) * (o.c0 + o.c1);
+    return {t0 - t1, t2 - t0 - t1};
+  }
+
+  Fp2 Square() const {
+    Fp t0 = (c0 + c1) * (c0 - c1);
+    Fp t1 = c0 * c1;
+    return {t0, t1 + t1};
+  }
+
+  Fp2 MulByFp(const Fp& s) const { return {c0 * s, c1 * s}; }
+
+  // Multiplication by xi = 1 + i: (c0 - c1) + (c0 + c1) i.
+  Fp2 MulByXi() const { return {c0 - c1, c0 + c1}; }
+
+  Fp2 Conjugate() const { return {c0, -c1}; }
+
+  Fp2 Inverse() const {
+    Fp d = (c0 * c0 + c1 * c1).Inverse();
+    return {c0 * d, -(c1 * d)};
+  }
+
+  Fp2 Pow(std::span<const u64> e) const {
+    Fp2 acc = One();
+    std::size_t bits = e.size() * 64;
+    for (std::size_t i = bits; i-- > 0;) {
+      acc = acc.Square();
+      if ((e[i / 64] >> (i % 64)) & 1) acc = acc * *this;
+    }
+    return acc;
+  }
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_FP2_H_

@@ -1,0 +1,60 @@
+// Cubic extension Fp6 = Fp2[v] / (v^3 - xi), xi = 1 + i.
+#ifndef APQA_CRYPTO_FP6_H_
+#define APQA_CRYPTO_FP6_H_
+
+#include "crypto/fp2.h"
+
+namespace apqa::crypto {
+
+struct Fp6 {
+  Fp2 c0, c1, c2;
+
+  static Fp6 Zero() { return {Fp2::Zero(), Fp2::Zero(), Fp2::Zero()}; }
+  static Fp6 One() { return {Fp2::One(), Fp2::Zero(), Fp2::Zero()}; }
+
+  bool IsZero() const { return c0.IsZero() && c1.IsZero() && c2.IsZero(); }
+  bool operator==(const Fp6& o) const {
+    return c0 == o.c0 && c1 == o.c1 && c2 == o.c2;
+  }
+  bool operator!=(const Fp6& o) const { return !(*this == o); }
+
+  Fp6 operator+(const Fp6& o) const {
+    return {c0 + o.c0, c1 + o.c1, c2 + o.c2};
+  }
+  Fp6 operator-(const Fp6& o) const {
+    return {c0 - o.c0, c1 - o.c1, c2 - o.c2};
+  }
+  Fp6 operator-() const { return {-c0, -c1, -c2}; }
+
+  Fp6 operator*(const Fp6& o) const {
+    // Toom-style interpolation with 6 Fp2 multiplications
+    // (Devegili et al., "Multiplication and Squaring on Pairing-Friendly
+    // Fields").
+    Fp2 t0 = c0 * o.c0;
+    Fp2 t1 = c1 * o.c1;
+    Fp2 t2 = c2 * o.c2;
+    Fp2 r0 = t0 + ((c1 + c2) * (o.c1 + o.c2) - t1 - t2).MulByXi();
+    Fp2 r1 = (c0 + c1) * (o.c0 + o.c1) - t0 - t1 + t2.MulByXi();
+    Fp2 r2 = (c0 + c2) * (o.c0 + o.c2) - t0 - t2 + t1;
+    return {r0, r1, r2};
+  }
+
+  Fp6 Square() const { return *this * *this; }
+
+  // Multiplication by v (shifts coefficients, wrapping through xi).
+  Fp6 MulByV() const { return {c2.MulByXi(), c0, c1}; }
+
+  Fp6 MulByFp2(const Fp2& s) const { return {c0 * s, c1 * s, c2 * s}; }
+
+  Fp6 Inverse() const {
+    Fp2 a = c0.Square() - (c1 * c2).MulByXi();
+    Fp2 b = c2.Square().MulByXi() - c0 * c1;
+    Fp2 c = c1.Square() - c0 * c2;
+    Fp2 t = (c0 * a + (c2 * b + c1 * c).MulByXi()).Inverse();
+    return {a * t, b * t, c * t};
+  }
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_FP6_H_

@@ -1,0 +1,98 @@
+// Fixed-width multi-limb (64-bit) integer primitives.
+//
+// These are the low-level building blocks for the prime fields used by the
+// BLS12-381 pairing implementation. All routines operate on little-endian
+// limb arrays (limb 0 is least significant) of a compile-time size N and are
+// branch-light so that the compiler can keep everything in registers.
+#ifndef APQA_CRYPTO_LIMBS_H_
+#define APQA_CRYPTO_LIMBS_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace apqa::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+template <std::size_t N>
+using Limbs = std::array<u64, N>;
+
+// r = a + b, returns carry-out (0 or 1).
+template <std::size_t N>
+inline u64 AddLimbs(const Limbs<N>& a, const Limbs<N>& b, Limbs<N>* r) {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    u128 t = static_cast<u128>(a[i]) + b[i] + carry;
+    (*r)[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  return carry;
+}
+
+// r = a - b, returns borrow-out (0 or 1).
+template <std::size_t N>
+inline u64 SubLimbs(const Limbs<N>& a, const Limbs<N>& b, Limbs<N>* r) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    u128 t = static_cast<u128>(a[i]) - b[i] - borrow;
+    (*r)[i] = static_cast<u64>(t);
+    borrow = static_cast<u64>(t >> 64) & 1;
+  }
+  return borrow;
+}
+
+// Returns -1, 0, +1 for a < b, a == b, a > b.
+template <std::size_t N>
+inline int CompareLimbs(const Limbs<N>& a, const Limbs<N>& b) {
+  for (std::size_t i = N; i-- > 0;) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+template <std::size_t N>
+inline bool IsZeroLimbs(const Limbs<N>& a) {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+// Shifts right by one bit in place.
+template <std::size_t N>
+inline void Shr1Limbs(Limbs<N>* a) {
+  for (std::size_t i = 0; i + 1 < N; ++i) {
+    (*a)[i] = ((*a)[i] >> 1) | ((*a)[i + 1] << 63);
+  }
+  (*a)[N - 1] >>= 1;
+}
+
+// Returns bit `i` (0 = least significant).
+template <std::size_t N>
+inline int BitLimbs(const Limbs<N>& a, std::size_t i) {
+  return static_cast<int>((a[i / 64] >> (i % 64)) & 1);
+}
+
+// Number of significant bits (0 for zero).
+template <std::size_t N>
+inline std::size_t BitLengthLimbs(const Limbs<N>& a) {
+  for (std::size_t i = N; i-- > 0;) {
+    if (a[i] != 0) {
+      std::size_t b = 64;
+      u64 v = a[i];
+      while (!(v >> 63)) {
+        v <<= 1;
+        --b;
+      }
+      return i * 64 + b;
+    }
+  }
+  return 0;
+}
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_LIMBS_H_

@@ -1,0 +1,192 @@
+#include "crypto/pairing.h"
+
+#include "crypto/bigint.h"
+
+namespace apqa::crypto {
+
+namespace {
+
+// Embeds an Fp element into Fp12 (constant coefficient).
+Fp12 EmbedFp(const Fp& a) {
+  Fp12 r = Fp12::Zero();
+  r.c0.c0.c0 = a;
+  return r;
+}
+
+// Embeds an Fp2 element into Fp12.
+Fp12 EmbedFp2(const Fp2& a) {
+  Fp12 r = Fp12::Zero();
+  r.c0.c0 = a;
+  return r;
+}
+
+struct UntwistConsts {
+  Fp12 winv2;  // w^-2
+  Fp12 winv3;  // w^-3
+};
+
+const UntwistConsts& Untwist() {
+  static const UntwistConsts c = [] {
+    Fp12 w = Fp12::Zero();
+    w.c1.c0 = Fp2::One();  // the element w itself
+    Fp12 w2 = w.Square();
+    UntwistConsts c;
+    c.winv2 = w2.Inverse();
+    c.winv3 = (w2 * w).Inverse();
+    return c;
+  }();
+  return c;
+}
+
+// Exponent of the final-exponentiation hard part, (p^4 - p^2 + 1) / r,
+// derived by exact integer arithmetic at first use.
+const std::vector<u64>& HardPartExponent() {
+  static const std::vector<u64> e = [] {
+    BigInt p = BigInt::FromLimbs(FpTag::kModulus.data(), 6);
+    BigInt r = BigInt::FromLimbs(FrTag::kModulus.data(), 4);
+    BigInt p2 = p * p;
+    BigInt p4 = p2 * p2;
+    BigInt num = p4 - p2 + BigInt(1);
+    BigInt q, rem;
+    BigInt::DivMod(num, r, &q, &rem);
+    // The BLS family guarantees exact divisibility; a failure here would
+    // mean the curve constants are corrupted.
+    if (!rem.IsZero()) std::abort();
+    std::vector<u64> limbs((q.BitLength() + 63) / 64);
+    q.ToLimbs(limbs.data(), limbs.size());
+    return limbs;
+  }();
+  return e;
+}
+
+// Affine point in E(Fp12).
+struct Pt {
+  Fp12 x, y;
+};
+
+// Line through a and b (or tangent at a if a == b) evaluated at the
+// (embedded) G1 point (xp, yp); also advances a to a+b (or 2a).
+Fp12 LineAndStep(Pt* a, const Pt& b, bool tangent, const Fp12& xp,
+                 const Fp12& yp) {
+  Fp12 lambda;
+  if (tangent) {
+    Fp12 x2 = a->x.Square();
+    lambda = (x2 + x2 + x2) * (a->y + a->y).Inverse();
+  } else {
+    lambda = (b.y - a->y) * (b.x - a->x).Inverse();
+  }
+  Fp12 l = yp - a->y - lambda * (xp - a->x);
+  Fp12 x3 = lambda.Square() - a->x - b.x;
+  Fp12 y3 = lambda * (a->x - x3) - a->y;
+  a->x = x3;
+  a->y = y3;
+  return l;
+}
+
+}  // namespace
+
+GT MillerLoopGeneric(const G1& p, const G2& q) {
+  if (p.IsInfinity() || q.IsInfinity()) return GT::One();
+
+  Fp pax, pay;
+  p.ToAffine(&pax, &pay);
+  Fp12 xp = EmbedFp(pax);
+  Fp12 yp = EmbedFp(pay);
+
+  Fp2 qax, qay;
+  q.ToAffine(&qax, &qay);
+  const auto& ut = Untwist();
+  Pt qq{EmbedFp2(qax) * ut.winv2, EmbedFp2(qay) * ut.winv3};
+  Pt t = qq;
+
+  Fp12 f = Fp12::One();
+  // |u| has 64 bits; iterate from the bit below the MSB down to 0.
+  int msb = 63;
+  while (!((kBlsParamAbs >> msb) & 1)) --msb;
+  for (int i = msb - 1; i >= 0; --i) {
+    f = f.Square() * LineAndStep(&t, t, /*tangent=*/true, xp, yp);
+    if ((kBlsParamAbs >> i) & 1) {
+      f = f * LineAndStep(&t, qq, /*tangent=*/false, xp, yp);
+    }
+  }
+  // u < 0: conjugate (the vertical-line correction dies in the final
+  // exponentiation).
+  return f.Conjugate();
+}
+
+namespace {
+
+// Sparse line value on the M-twist, multiplied through by w^3 (an Fp4
+// element, killed by the final exponentiation):
+//   l = (lambda*x_T - y_T) + (-lambda*x_P) w^2 + (y_P) w^3
+// Tower slots (Fp12 = Fp2[w]/(w^6 - xi) view): w^0 -> c0.c0, w^2 -> c0.c1,
+// w^3 -> c1.c1.
+Fp12 AssembleLine(const Fp2& l0, const Fp2& l2, const Fp& yp) {
+  Fp12 l = Fp12::Zero();
+  l.c0.c0 = l0;
+  l.c0.c1 = l2;
+  l.c1.c1 = Fp2{yp, Fp::Zero()};
+  return l;
+}
+
+}  // namespace
+
+GT MillerLoop(const G1& p, const G2& q) {
+  if (p.IsInfinity() || q.IsInfinity()) return GT::One();
+
+  Fp xp, yp;
+  p.ToAffine(&xp, &yp);
+  Fp2 xq, yq;
+  q.ToAffine(&xq, &yq);
+
+  // Affine twisted-coordinate loop: slopes live in Fp2; lines are sparse.
+  Fp2 xt = xq, yt = yq;
+  Fp12 f = Fp12::One();
+  int msb = 63;
+  while (!((kBlsParamAbs >> msb) & 1)) --msb;
+  for (int i = msb - 1; i >= 0; --i) {
+    // Tangent at T.
+    Fp2 xt2 = xt.Square();
+    Fp2 lambda = (xt2 + xt2 + xt2) * (yt + yt).Inverse();
+    Fp12 l = AssembleLine(lambda * xt - yt, lambda.MulByFp(-xp), yp);
+    f = f.Square() * l;
+    Fp2 x3 = lambda.Square() - xt - xt;
+    yt = lambda * (xt - x3) - yt;
+    xt = x3;
+    if ((kBlsParamAbs >> i) & 1) {
+      // Chord through T and Q.
+      Fp2 lam2 = (yq - yt) * (xq - xt).Inverse();
+      Fp12 l2 = AssembleLine(lam2 * xt - yt, lam2.MulByFp(-xp), yp);
+      f = f * l2;
+      Fp2 x3a = lam2.Square() - xt - xq;
+      yt = lam2 * (xt - x3a) - yt;
+      xt = x3a;
+    }
+  }
+  // u < 0: conjugate.
+  return f.Conjugate();
+}
+
+GT FinalExponentiation(const GT& f) {
+  // Easy part: f^((p^6 - 1)(p^2 + 1)).
+  GT t = f.Conjugate() * f.Inverse();
+  t = t.Frobenius().Frobenius() * t;
+  // Hard part: t^((p^4 - p^2 + 1) / r), with Granger-Scott squarings —
+  // valid because t is now in the cyclotomic subgroup.
+  const auto& e = HardPartExponent();
+  return t.PowCyclotomic(std::span<const u64>(e.data(), e.size()));
+}
+
+GT Pairing(const G1& p, const G2& q) {
+  return FinalExponentiation(MillerLoop(p, q));
+}
+
+GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs) {
+  GT f = GT::One();
+  for (const auto& [p, q] : pairs) {
+    f = f * MillerLoop(p, q);
+  }
+  return FinalExponentiation(f);
+}
+
+}  // namespace apqa::crypto

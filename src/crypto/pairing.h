@@ -1,0 +1,41 @@
+// Optimal ate pairing e : G1 x G2 -> GT for BLS12-381.
+//
+// The Miller loop is computed over the untwisted image of G2 in E(Fp12) with
+// affine line functions — a deliberately simple, easily-audited formulation.
+// Products of pairings share a single final exponentiation via
+// `MultiPairing`, which is the dominant cost saver for ABS verification.
+#ifndef APQA_CRYPTO_PAIRING_H_
+#define APQA_CRYPTO_PAIRING_H_
+
+#include <utility>
+#include <vector>
+
+#include "crypto/curve.h"
+#include "crypto/fp12.h"
+
+namespace apqa::crypto {
+
+using GT = Fp12;
+
+// Miller loop f_{|u|,Q}(P), conjugated for the negative curve parameter.
+// Returns GT::One() if either input is infinity (so that degenerate terms
+// drop out of pairing products).
+GT MillerLoop(const G1& p, const G2& q);
+
+// Generic reference Miller loop over the untwisted image of G2 in E(Fp12).
+// Slower than MillerLoop (which works on the twist with Fp2 line
+// arithmetic); kept for cross-validation.
+GT MillerLoopGeneric(const G1& p, const G2& q);
+
+// Final exponentiation f^((p^12 - 1) / r).
+GT FinalExponentiation(const GT& f);
+
+// e(p, q).
+GT Pairing(const G1& p, const G2& q);
+
+// prod_i e(p_i, q_i) with one shared final exponentiation.
+GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs);
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_PAIRING_H_

@@ -1,0 +1,254 @@
+// Generic prime field with Montgomery-form arithmetic.
+//
+// `Tag` supplies the modulus as little-endian 64-bit limbs:
+//
+//   struct MyTag {
+//     static constexpr std::size_t kLimbs = 6;
+//     static constexpr Limbs<6> kModulus = {...};
+//   };
+//
+// All derived Montgomery constants (R mod p, R^2 mod p, -p^-1 mod 2^64) are
+// computed once at first use from the modulus alone, so there is a single
+// source of truth for each field.
+#ifndef APQA_CRYPTO_PRIME_FIELD_H_
+#define APQA_CRYPTO_PRIME_FIELD_H_
+
+#include <cstddef>
+#include <span>
+
+#include "crypto/limbs.h"
+
+namespace apqa::crypto {
+
+template <typename Tag>
+class PrimeField {
+ public:
+  static constexpr std::size_t kLimbs = Tag::kLimbs;
+  using L = Limbs<kLimbs>;
+
+  constexpr PrimeField() : v_{} {}
+
+  static const L& Modulus() { return Tag::kModulus; }
+
+  static PrimeField Zero() { return PrimeField(); }
+  static PrimeField One() {
+    PrimeField r;
+    r.v_ = Consts().r1;
+    return r;
+  }
+
+  static PrimeField FromU64(u64 x) {
+    L l{};
+    l[0] = x;
+    return FromCanonical(l);
+  }
+
+  // Interprets `l` as a canonical integer; it must already be < modulus.
+  static PrimeField FromCanonical(const L& l) {
+    PrimeField r;
+    r.v_ = MontMul(l, Consts().r2);
+    return r;
+  }
+
+  // Reduces an arbitrary N-limb value, then converts to Montgomery form.
+  static PrimeField FromCanonicalReduce(L l) {
+    while (CompareLimbs<kLimbs>(l, Tag::kModulus) >= 0) {
+      SubLimbs<kLimbs>(l, Tag::kModulus, &l);
+    }
+    return FromCanonical(l);
+  }
+
+  L ToCanonical() const {
+    L one{};
+    one[0] = 1;
+    return MontMul(v_, one);
+  }
+
+  bool IsZero() const { return IsZeroLimbs<kLimbs>(v_); }
+  bool operator==(const PrimeField& o) const { return v_ == o.v_; }
+  bool operator!=(const PrimeField& o) const { return !(v_ == o.v_); }
+
+  PrimeField operator+(const PrimeField& o) const {
+    PrimeField r;
+    u64 carry = AddLimbs<kLimbs>(v_, o.v_, &r.v_);
+    if (carry || CompareLimbs<kLimbs>(r.v_, Tag::kModulus) >= 0) {
+      SubLimbs<kLimbs>(r.v_, Tag::kModulus, &r.v_);
+    }
+    return r;
+  }
+
+  PrimeField operator-(const PrimeField& o) const {
+    PrimeField r;
+    u64 borrow = SubLimbs<kLimbs>(v_, o.v_, &r.v_);
+    if (borrow) AddLimbs<kLimbs>(r.v_, Tag::kModulus, &r.v_);
+    return r;
+  }
+
+  PrimeField operator-() const { return Zero() - *this; }
+
+  PrimeField operator*(const PrimeField& o) const {
+    PrimeField r;
+    r.v_ = MontMul(v_, o.v_);
+    return r;
+  }
+
+  PrimeField Square() const { return *this * *this; }
+
+  PrimeField Double() const { return *this + *this; }
+
+  // Exponentiation by an arbitrary little-endian limb span (canonical int).
+  PrimeField Pow(std::span<const u64> e) const {
+    std::size_t bits = 0;
+    for (std::size_t i = e.size(); i-- > 0;) {
+      if (e[i] != 0) {
+        u64 t = e[i];
+        bits = i * 64;
+        while (t) {
+          t >>= 1;
+          ++bits;
+        }
+        break;
+      }
+    }
+    PrimeField acc = One();
+    for (std::size_t i = bits; i-- > 0;) {
+      acc = acc.Square();
+      if ((e[i / 64] >> (i % 64)) & 1) acc = acc * *this;
+    }
+    return acc;
+  }
+
+  // Multiplicative inverse via binary extended GCD (HAC 14.61 style).
+  // Returns zero for zero input.
+  PrimeField Inverse() const {
+    if (IsZero()) return Zero();
+    const L& p = Tag::kModulus;
+    L u = ToCanonical();
+    L v = p;
+    L x1{}, x2{};
+    x1[0] = 1;
+    auto halve_mod = [&p](L* x) {
+      if ((*x)[0] & 1) {
+        u64 carry = AddLimbs<kLimbs>(*x, p, x);
+        Shr1Limbs<kLimbs>(x);
+        (*x)[kLimbs - 1] |= carry << 63;
+      } else {
+        Shr1Limbs<kLimbs>(x);
+      }
+    };
+    auto sub_mod = [&p](L* a, const L& b) {
+      if (SubLimbs<kLimbs>(*a, b, a)) AddLimbs<kLimbs>(*a, p, a);
+    };
+    L one{};
+    one[0] = 1;
+    while (u != one && v != one) {
+      while (!(u[0] & 1)) {
+        Shr1Limbs<kLimbs>(&u);
+        halve_mod(&x1);
+      }
+      while (!(v[0] & 1)) {
+        Shr1Limbs<kLimbs>(&v);
+        halve_mod(&x2);
+      }
+      if (CompareLimbs<kLimbs>(u, v) >= 0) {
+        SubLimbs<kLimbs>(u, v, &u);
+        sub_mod(&x1, x2);
+      } else {
+        SubLimbs<kLimbs>(v, u, &v);
+        sub_mod(&x2, x1);
+      }
+    }
+    PrimeField r;
+    r.v_ = (u == one) ? x1 : x2;
+    // r.v_ currently holds the canonical inverse; lift to Montgomery form.
+    r.v_ = MontMul(r.v_, Consts().r2);
+    return r;
+  }
+
+  // Raw Montgomery representation (for serialization of field elements the
+  // canonical form should be used; this accessor exists for hashing state).
+  const L& MontgomeryRepr() const { return v_; }
+
+ private:
+  struct MontConsts {
+    L r1;   // 2^(64*kLimbs) mod p  == Montgomery form of 1
+    L r2;   // 2^(2*64*kLimbs) mod p
+    u64 inv;  // -p^-1 mod 2^64
+  };
+
+  static const MontConsts& Consts() {
+    static const MontConsts c = [] {
+      MontConsts c{};
+      const L& p = Tag::kModulus;
+      // r1 = 2^(64N) mod p by repeated doubling of 1.
+      L x{};
+      x[0] = 1;
+      for (std::size_t i = 0; i < 64 * kLimbs; ++i) {
+        u64 carry = AddLimbs<kLimbs>(x, x, &x);
+        if (carry || CompareLimbs<kLimbs>(x, p) >= 0) {
+          SubLimbs<kLimbs>(x, p, &x);
+        }
+      }
+      c.r1 = x;
+      // r2 = 2^(2*64N) mod p: double r1 another 64N times.
+      for (std::size_t i = 0; i < 64 * kLimbs; ++i) {
+        u64 carry = AddLimbs<kLimbs>(x, x, &x);
+        if (carry || CompareLimbs<kLimbs>(x, p) >= 0) {
+          SubLimbs<kLimbs>(x, p, &x);
+        }
+      }
+      c.r2 = x;
+      // inv = -p^-1 mod 2^64 by Newton iteration.
+      u64 inv = 1;
+      for (int i = 0; i < 6; ++i) inv *= 2 - p[0] * inv;
+      c.inv = ~inv + 1;  // negate mod 2^64
+      return c;
+    }();
+    return c;
+  }
+
+  // CIOS Montgomery multiplication: returns a*b*R^-1 mod p.
+  static L MontMul(const L& a, const L& b) {
+    const L& p = Tag::kModulus;
+    const u64 inv = Consts().inv;
+    u64 t[kLimbs + 2] = {0};
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      u64 carry = 0;
+      for (std::size_t j = 0; j < kLimbs; ++j) {
+        u128 s = static_cast<u128>(a[j]) * b[i] + t[j] + carry;
+        t[j] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+      }
+      u128 s = static_cast<u128>(t[kLimbs]) + carry;
+      t[kLimbs] = static_cast<u64>(s);
+      t[kLimbs + 1] = static_cast<u64>(s >> 64);
+
+      u64 m = t[0] * inv;
+      u128 s2 = static_cast<u128>(m) * p[0] + t[0];
+      carry = static_cast<u64>(s2 >> 64);
+      for (std::size_t j = 1; j < kLimbs; ++j) {
+        s2 = static_cast<u128>(m) * p[j] + t[j] + carry;
+        t[j - 1] = static_cast<u64>(s2);
+        carry = static_cast<u64>(s2 >> 64);
+      }
+      s2 = static_cast<u128>(t[kLimbs]) + carry;
+      t[kLimbs - 1] = static_cast<u64>(s2);
+      t[kLimbs] = t[kLimbs + 1] + static_cast<u64>(s2 >> 64);
+      t[kLimbs + 1] = 0;
+    }
+    L r;
+    std::memcpy(r.data(), t, sizeof(r));
+    L tmp;
+    if (t[kLimbs] != 0 || CompareLimbs<kLimbs>(r, p) >= 0) {
+      SubLimbs<kLimbs>(r, p, &tmp);
+      r = tmp;
+    }
+    return r;
+  }
+
+  L v_;
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_PRIME_FIELD_H_

@@ -1,0 +1,114 @@
+#include "crypto/rng.h"
+
+#include <fstream>
+
+namespace apqa::crypto {
+
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t v, int c) {
+  return (v << c) | (v >> (32 - c));
+}
+
+inline void QuarterRound(std::uint32_t* a, std::uint32_t* b, std::uint32_t* c,
+                         std::uint32_t* d) {
+  *a += *b;
+  *d = Rotl(*d ^ *a, 16);
+  *c += *d;
+  *b = Rotl(*b ^ *c, 12);
+  *a += *b;
+  *d = Rotl(*d ^ *a, 8);
+  *c += *d;
+  *b = Rotl(*b ^ *c, 7);
+}
+
+void ChaChaBlock(const std::array<std::uint32_t, 16>& in,
+                 std::array<std::uint8_t, 64>* out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(&x[0], &x[4], &x[8], &x[12]);
+    QuarterRound(&x[1], &x[5], &x[9], &x[13]);
+    QuarterRound(&x[2], &x[6], &x[10], &x[14]);
+    QuarterRound(&x[3], &x[7], &x[11], &x[15]);
+    QuarterRound(&x[0], &x[5], &x[10], &x[15]);
+    QuarterRound(&x[1], &x[6], &x[11], &x[12]);
+    QuarterRound(&x[2], &x[7], &x[8], &x[13]);
+    QuarterRound(&x[3], &x[4], &x[9], &x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + in[i];
+    (*out)[4 * i + 0] = static_cast<std::uint8_t>(v);
+    (*out)[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    (*out)[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    (*out)[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Rng::Rng() : pos_(64) {
+  state_ = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  std::uint8_t key[32];
+  urandom.read(reinterpret_cast<char*>(key), sizeof(key));
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(&state_[4 + i], key + 4 * i, 4);
+  }
+}
+
+Rng::Rng(u64 seed) : pos_(64) {
+  state_ = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  state_[4] = static_cast<std::uint32_t>(seed);
+  state_[5] = static_cast<std::uint32_t>(seed >> 32);
+  state_[6] = 0x9e3779b9;
+  state_[7] = 0x7f4a7c15;
+}
+
+void Rng::Refill() {
+  ChaChaBlock(state_, &block_);
+  pos_ = 0;
+  // 64-bit block counter in words 12/13.
+  if (++state_[12] == 0) ++state_[13];
+}
+
+void Rng::Fill(void* out, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(out);
+  while (n > 0) {
+    if (pos_ == 64) Refill();
+    std::size_t take = std::min<std::size_t>(64 - pos_, n);
+    std::memcpy(p, block_.data() + pos_, take);
+    pos_ += take;
+    p += take;
+    n -= take;
+  }
+}
+
+u64 Rng::NextU64() {
+  u64 v;
+  Fill(&v, sizeof(v));
+  return v;
+}
+
+std::vector<std::uint8_t> Rng::Bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  Fill(v.data(), n);
+  return v;
+}
+
+Fr Rng::NextFr() {
+  Limbs<4> l;
+  Fill(l.data(), sizeof(l));
+  l[3] &= 0x7fffffffffffffffULL;  // < 2^255 < 2r, so one subtraction suffices
+  return Fr::FromCanonicalReduce(l);
+}
+
+Fr Rng::NextNonZeroFr() {
+  for (;;) {
+    Fr f = NextFr();
+    if (!f.IsZero()) return f;
+  }
+}
+
+}  // namespace apqa::crypto

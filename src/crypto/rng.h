@@ -1,0 +1,44 @@
+// ChaCha20-based cryptographic pseudo-random generator.
+//
+// A deterministic stream cipher core keyed either from the OS entropy pool
+// (default) or from an explicit seed (tests and reproducible benchmarks).
+#ifndef APQA_CRYPTO_RNG_H_
+#define APQA_CRYPTO_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "crypto/fields.h"
+
+namespace apqa::crypto {
+
+class Rng {
+ public:
+  // Seeds from the OS entropy pool.
+  Rng();
+  // Deterministic stream for tests/benchmarks.
+  explicit Rng(u64 seed);
+
+  u64 NextU64();
+  void Fill(void* out, std::size_t n);
+  std::vector<std::uint8_t> Bytes(std::size_t n);
+
+  // Uniform scalar in [0, r); rejection-free near-uniform sampling by
+  // masking to 255 bits and reducing.
+  Fr NextFr();
+  // Non-zero scalar.
+  Fr NextNonZeroFr();
+
+ private:
+  void Refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t pos_;
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_RNG_H_

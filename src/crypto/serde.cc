@@ -1,0 +1,105 @@
+#include "crypto/serde.h"
+
+#include "crypto/sha256.h"
+
+namespace apqa::crypto {
+
+void WriteFr(common::ByteWriter* w, const Fr& v) {
+  Limbs<4> l = v.ToCanonical();
+  for (u64 x : l) w->PutU64(x);
+}
+
+Fr ReadFr(common::ByteReader* r) {
+  Limbs<4> l;
+  for (auto& x : l) x = r->GetU64();
+  return Fr::FromCanonicalReduce(l);
+}
+
+void WriteFp(common::ByteWriter* w, const Fp& v) {
+  Limbs<6> l = v.ToCanonical();
+  for (u64 x : l) w->PutU64(x);
+}
+
+Fp ReadFp(common::ByteReader* r) {
+  Limbs<6> l;
+  for (auto& x : l) x = r->GetU64();
+  return Fp::FromCanonicalReduce(l);
+}
+
+void WriteG1(common::ByteWriter* w, const G1& p) {
+  if (p.IsInfinity()) {
+    w->PutU8(0);
+    return;
+  }
+  w->PutU8(1);
+  Fp ax, ay;
+  p.ToAffine(&ax, &ay);
+  WriteFp(w, ax);
+  WriteFp(w, ay);
+}
+
+G1 ReadG1(common::ByteReader* r) {
+  if (r->GetU8() == 0) return G1::Infinity();
+  Fp ax = ReadFp(r);
+  Fp ay = ReadFp(r);
+  G1 p = G1::FromAffine(ax, ay);
+  // Reject off-curve points from untrusted input: collapse to infinity,
+  // which every signature check rejects (Y must be non-identity).
+  if (!p.OnCurve(G1CurveB())) return G1::Infinity();
+  return p;
+}
+
+void WriteG2(common::ByteWriter* w, const G2& p) {
+  if (p.IsInfinity()) {
+    w->PutU8(0);
+    return;
+  }
+  w->PutU8(1);
+  Fp2 ax, ay;
+  p.ToAffine(&ax, &ay);
+  WriteFp(w, ax.c0);
+  WriteFp(w, ax.c1);
+  WriteFp(w, ay.c0);
+  WriteFp(w, ay.c1);
+}
+
+G2 ReadG2(common::ByteReader* r) {
+  if (r->GetU8() == 0) return G2::Infinity();
+  Fp2 ax{ReadFp(r), ReadFp(r)};
+  Fp2 ay{ReadFp(r), ReadFp(r)};
+  G2 p = G2::FromAffine(ax, ay);
+  if (!p.OnCurve(G2CurveB())) return G2::Infinity();
+  return p;
+}
+
+void WriteGT(common::ByteWriter* w, const Fp12& v) {
+  const Fp* coeffs[12] = {&v.c0.c0.c0, &v.c0.c0.c1, &v.c0.c1.c0, &v.c0.c1.c1,
+                          &v.c0.c2.c0, &v.c0.c2.c1, &v.c1.c0.c0, &v.c1.c0.c1,
+                          &v.c1.c1.c0, &v.c1.c1.c1, &v.c1.c2.c0, &v.c1.c2.c1};
+  for (const Fp* f : coeffs) WriteFp(w, *f);
+}
+
+Fp12 ReadGT(common::ByteReader* r) {
+  Fp12 v;
+  Fp* coeffs[12] = {&v.c0.c0.c0, &v.c0.c0.c1, &v.c0.c1.c0, &v.c0.c1.c1,
+                    &v.c0.c2.c0, &v.c0.c2.c1, &v.c1.c0.c0, &v.c1.c0.c1,
+                    &v.c1.c1.c0, &v.c1.c1.c1, &v.c1.c2.c0, &v.c1.c2.c1};
+  for (Fp* f : coeffs) *f = ReadFp(r);
+  return v;
+}
+
+Fr HashToFr(const void* data, std::size_t n) {
+  Digest d = Sha256::Hash(data, n);
+  Limbs<4> l;
+  for (int i = 0; i < 4; ++i) {
+    u64 v = 0;
+    for (int j = 0; j < 8; ++j) v |= static_cast<u64>(d[8 * i + j]) << (8 * j);
+    l[i] = v;
+  }
+  l[3] &= 0x7fffffffffffffffULL;
+  return Fr::FromCanonicalReduce(l);
+}
+
+Fr HashToFr(const std::string& s) { return HashToFr(s.data(), s.size()); }
+
+}  // namespace apqa::crypto

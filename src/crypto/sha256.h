@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4).
+#ifndef APQA_CRYPTO_SHA256_H_
+#define APQA_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apqa::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, std::size_t n);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  void Update(const std::vector<std::uint8_t>& v) { Update(v.data(), v.size()); }
+  Digest Finish();
+
+  static Digest Hash(std::string_view s);
+  static Digest Hash(const void* data, std::size_t n);
+
+ private:
+  void Compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> h_;
+  std::uint64_t total_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_;
+};
+
+std::string DigestToHex(const Digest& d);
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_SHA256_H_

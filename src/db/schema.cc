@@ -1,0 +1,104 @@
+#include "db/schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace apqa::db {
+
+TableSchema::TableSchema(std::string table_name,
+                         std::vector<AttributeSpec> attributes, int bits)
+    : name_(std::move(table_name)),
+      attributes_(std::move(attributes)),
+      bits_(bits) {
+  if (attributes_.empty() || attributes_.size() > 3) {
+    throw std::invalid_argument("schema needs 1..3 query attributes");
+  }
+  if (bits_ < 1 || bits_ > 12) {
+    throw std::invalid_argument("grid bits out of range");
+  }
+  for (const auto& a : attributes_) {
+    if (!(a.min < a.max)) {
+      throw std::invalid_argument("attribute range empty: " + a.name);
+    }
+  }
+}
+
+core::Domain TableSchema::domain() const {
+  return core::Domain{static_cast<int>(attributes_.size()), bits_};
+}
+
+std::uint32_t TableSchema::Cell(double v, const AttributeSpec& spec) const {
+  std::uint32_t side = std::uint32_t{1} << bits_;
+  double t = (v - spec.min) / (spec.max - spec.min);
+  t = std::clamp(t, 0.0, 1.0);
+  auto cell = static_cast<std::uint32_t>(t * side);
+  return std::min(cell, side - 1);
+}
+
+core::Point TableSchema::Discretize(const std::vector<double>& values) const {
+  if (values.size() != attributes_.size()) {
+    throw std::invalid_argument("attribute tuple arity mismatch");
+  }
+  core::Point p;
+  p.reserve(values.size());
+  for (std::size_t d = 0; d < values.size(); ++d) {
+    p.push_back(Cell(values[d], attributes_[d]));
+  }
+  return p;
+}
+
+core::Box TableSchema::DiscretizeRange(const std::vector<double>& lo,
+                                       const std::vector<double>& hi) const {
+  if (lo.size() != attributes_.size() || hi.size() != attributes_.size()) {
+    throw std::invalid_argument("range arity mismatch");
+  }
+  core::Box box;
+  box.lo.reserve(lo.size());
+  box.hi.reserve(hi.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (lo[d] > hi[d]) throw std::invalid_argument("empty range");
+    box.lo.push_back(Cell(lo[d], attributes_[d]));
+    box.hi.push_back(Cell(hi[d], attributes_[d]));
+  }
+  return box;
+}
+
+void TableSchema::Serialize(apqa::common::ByteWriter* w) const {
+  w->PutString(name_);
+  w->PutU32(static_cast<std::uint32_t>(bits_));
+  w->PutU32(static_cast<std::uint32_t>(attributes_.size()));
+  for (const auto& a : attributes_) {
+    w->PutString(a.name);
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &a.min, 8);
+    w->PutU64(bits);
+    std::memcpy(&bits, &a.max, 8);
+    w->PutU64(bits);
+  }
+}
+
+std::optional<TableSchema> TableSchema::Deserialize(apqa::common::ByteReader* r) {
+  std::string name = r->GetString();
+  int bits = static_cast<int>(r->GetU32());
+  std::uint32_t n = r->GetU32();
+  if (!r->ok() || n == 0 || n > 3 || bits < 1 || bits > 12) {
+    return std::nullopt;
+  }
+  std::vector<AttributeSpec> attrs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AttributeSpec a;
+    a.name = r->GetString();
+    std::uint64_t raw = r->GetU64();
+    std::memcpy(&a.min, &raw, 8);
+    raw = r->GetU64();
+    std::memcpy(&a.max, &raw, 8);
+    if (!r->ok() || !(a.min < a.max)) return std::nullopt;
+    attrs.push_back(std::move(a));
+  }
+  return TableSchema(std::move(name), std::move(attrs), bits);
+}
+
+}  // namespace apqa::db

@@ -1,0 +1,61 @@
+// Table schemas over real-valued attributes.
+//
+// The paper's protocol operates on discrete grid keys (footnote 1: real
+// attributes are discretized). This module carries the mapping: a schema
+// names up to three query attributes with value ranges and a grid
+// resolution, and converts rows/query ranges between attribute space and
+// the AP²G-tree domain.
+#ifndef APQA_DB_SCHEMA_H_
+#define APQA_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/record.h"
+
+namespace apqa::db {
+
+struct AttributeSpec {
+  std::string name;
+  double min = 0;
+  double max = 1;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  // `bits` is the per-dimension grid resolution (domain side 2^bits).
+  TableSchema(std::string table_name, std::vector<AttributeSpec> attributes,
+              int bits);
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+  core::Domain domain() const;
+
+  // Maps an attribute tuple to its grid cell (values clamped to
+  // [min, max]).
+  core::Point Discretize(const std::vector<double>& values) const;
+
+  // Maps a half-open attribute-space range to the smallest covering grid
+  // box. Conservative: the verified result may include grid-neighbors of
+  // the requested boundary; callers filter on raw values if exact bounds
+  // matter.
+  core::Box DiscretizeRange(const std::vector<double>& lo,
+                            const std::vector<double>& hi) const;
+
+  void Serialize(apqa::common::ByteWriter* w) const;
+  static std::optional<TableSchema> Deserialize(apqa::common::ByteReader* r);
+
+ private:
+  std::uint32_t Cell(double v, const AttributeSpec& spec) const;
+
+  std::string name_;
+  std::vector<AttributeSpec> attributes_;
+  int bits_ = 0;
+};
+
+}  // namespace apqa::db
+
+#endif  // APQA_DB_SCHEMA_H_

@@ -1,0 +1,167 @@
+#include "policy/msp.h"
+
+#include <map>
+
+namespace apqa::policy {
+
+namespace {
+
+// Sparse row under construction: column index -> coefficient.
+using SparseRow = std::map<std::size_t, std::int8_t>;
+
+struct Builder {
+  std::vector<SparseRow> rows;
+  std::vector<std::string> labels;
+  std::size_t next_col = 1;  // column 0 is the shared target column
+
+  void Walk(const Policy& p, const SparseRow& u) {
+    switch (p.kind()) {
+      case Policy::Kind::kVar:
+        rows.push_back(u);
+        labels.push_back(p.var());
+        return;
+      case Policy::Kind::kOr:
+        for (const Policy& c : p.children()) Walk(c, u);
+        return;
+      case Policy::Kind::kAnd: {
+        std::size_t n = p.children().size();
+        std::vector<std::size_t> fresh(n - 1);
+        for (std::size_t i = 0; i + 1 < n; ++i) fresh[i] = next_col++;
+        SparseRow first = u;
+        for (std::size_t c : fresh) first[c] = -1;
+        Walk(p.children()[0], first);
+        for (std::size_t k = 1; k < n; ++k) {
+          SparseRow unit;
+          unit[fresh[k - 1]] = 1;
+          Walk(p.children()[k], unit);
+        }
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Msp BuildMsp(const Policy& policy) {
+  Builder b;
+  SparseRow e1;
+  e1[0] = 1;
+  b.Walk(policy, e1);
+  Msp msp;
+  msp.row_labels = std::move(b.labels);
+  msp.m.assign(b.rows.size(), std::vector<std::int8_t>(b.next_col, 0));
+  for (std::size_t i = 0; i < b.rows.size(); ++i) {
+    for (const auto& [col, val] : b.rows[i]) msp.m[i][col] = val;
+  }
+  return msp;
+}
+
+std::optional<std::vector<std::int8_t>> SatisfyingVector(const Policy& policy,
+                                                         const RoleSet& attrs) {
+  if (!policy.Evaluate(attrs)) return std::nullopt;
+  // Emit one coefficient per leaf in Builder order. A leaf contributes 1
+  // exactly when it lies on the active satisfied spine: AND nodes keep all
+  // children active, OR nodes activate their first satisfied child only.
+  std::vector<std::int8_t> v;
+  struct Emit {
+    const RoleSet& attrs;
+    std::vector<std::int8_t>& v;
+    void Walk(const Policy& p, bool active) {
+      switch (p.kind()) {
+        case Policy::Kind::kVar:
+          v.push_back(static_cast<std::int8_t>(
+              active && attrs.count(p.var()) > 0 ? 1 : 0));
+          return;
+        case Policy::Kind::kAnd: {
+          bool sat = active && p.Evaluate(attrs);
+          for (const Policy& c : p.children()) Walk(c, sat);
+          return;
+        }
+        case Policy::Kind::kOr: {
+          bool chosen = false;
+          for (const Policy& c : p.children()) {
+            bool take = active && !chosen && c.Evaluate(attrs);
+            Walk(c, take);
+            chosen = chosen || take;
+          }
+          return;
+        }
+      }
+    }
+  } emit{attrs, v};
+  emit.Walk(policy, true);
+  return v;
+}
+
+namespace {
+
+struct Purger {
+  const RoleSet& keep;
+  std::size_t next_col = 1;
+  std::size_t next_row = 0;
+
+  struct NodeResult {
+    bool flag = false;
+    std::vector<std::size_t> rows;
+    std::vector<std::size_t> cols;
+  };
+
+  // Walks in the same order as Builder so row/column indices line up.
+  NodeResult Walk(const Policy& p) {
+    switch (p.kind()) {
+      case Policy::Kind::kVar: {
+        NodeResult r;
+        r.flag = keep.count(p.var()) > 0;
+        r.rows = {next_row++};
+        return r;
+      }
+      case Policy::Kind::kOr: {
+        NodeResult r;
+        r.flag = true;
+        for (const Policy& c : p.children()) {
+          NodeResult sub = Walk(c);
+          r.flag = r.flag && sub.flag;
+          r.rows.insert(r.rows.end(), sub.rows.begin(), sub.rows.end());
+          r.cols.insert(r.cols.end(), sub.cols.begin(), sub.cols.end());
+        }
+        return r;
+      }
+      case Policy::Kind::kAnd: {
+        std::size_t n = p.children().size();
+        std::vector<std::size_t> fresh(n - 1);
+        for (std::size_t i = 0; i + 1 < n; ++i) fresh[i] = next_col++;
+        NodeResult r;
+        bool picked = false;
+        for (std::size_t k = 0; k < n; ++k) {
+          NodeResult sub = Walk(p.children()[k]);
+          if (!picked && sub.flag) {
+            picked = true;
+            r.flag = true;
+            r.rows = std::move(sub.rows);
+            r.cols = std::move(sub.cols);
+            if (k > 0) r.cols.push_back(fresh[k - 1]);
+          }
+        }
+        return r;
+      }
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+PurgeResult Purge(const Policy& policy, const RoleSet& keep) {
+  Purger purger{keep};
+  Purger::NodeResult top = purger.Walk(policy);
+  PurgeResult result;
+  result.ok = top.flag;
+  if (!result.ok) return result;
+  result.kept_rows = std::move(top.rows);
+  result.kept_cols = std::move(top.cols);
+  result.kept_cols.push_back(0);  // the shared target column
+  return result;
+}
+
+}  // namespace apqa::policy

@@ -1,0 +1,65 @@
+// Monotone span programs for monotone boolean policies (paper §5.2.1,
+// Algorithms 5 and 6).
+//
+// The MSP of a policy Υ is an ℓ×t matrix M over Fr with a row-labeling by
+// roles such that Υ(x)=1 iff the rows labeled by satisfied roles span
+// e₁ = [1,0,…,0]. The construction is the recursive insertion technique:
+//
+//   * a leaf emits one row equal to the vector handed down by its parent;
+//   * an OR node hands its vector to every child;
+//   * an AND node with n children allocates n−1 fresh columns, hands
+//     (vector | −1 … −1) to the first child and the fresh unit vector e_c to
+//     each other child.
+//
+// All matrix entries are in {−1, 0, 1}.
+//
+// `Purge` (Algorithm 6) supports ABS.Relax: given a kept-attribute set 𝒜′ it
+// finds 0/1 column-selection x (with x₀ = 1) and row set R with labels ⊆ 𝒜′
+// such that M·x = 1_R — exactly when Υ(𝔸\𝒜′) = 0, i.e. when every satisfying
+// set of Υ intersects 𝒜′.
+#ifndef APQA_POLICY_MSP_H_
+#define APQA_POLICY_MSP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace apqa::policy {
+
+struct Msp {
+  // Dense ℓ×t matrix with entries −1/0/+1; m[row][col].
+  std::vector<std::vector<std::int8_t>> m;
+  // Role label per row (the labeling function u : [ℓ] → 𝔸).
+  std::vector<std::string> row_labels;
+
+  std::size_t Rows() const { return m.size(); }
+  std::size_t Cols() const { return m.empty() ? 0 : m[0].size(); }
+};
+
+// Algorithm 5: builds the monotone span program of a policy.
+Msp BuildMsp(const Policy& policy);
+
+// Computes the 0/1 row-combination vector v with v·M = e₁ whose support
+// contains only rows labeled by roles in `attrs` (used by ABS.Sign).
+// Returns std::nullopt iff the policy is not satisfied by `attrs`.
+std::optional<std::vector<std::int8_t>> SatisfyingVector(const Policy& policy,
+                                                         const RoleSet& attrs);
+
+struct PurgeResult {
+  bool ok = false;
+  // Row indices to keep (coefficient 1 after column selection).
+  std::vector<std::size_t> kept_rows;
+  // Column indices with x_j = 1. Always contains column 0 when ok.
+  std::vector<std::size_t> kept_cols;
+};
+
+// Algorithm 6: computes the row/column selection that turns a signature on
+// `policy` into one on ∨_{a∈keep} a. Fails (ok=false) iff Υ(𝔸\keep) = 1,
+// i.e. the policy can still be satisfied while avoiding `keep`.
+PurgeResult Purge(const Policy& policy, const RoleSet& keep);
+
+}  // namespace apqa::policy
+
+#endif  // APQA_POLICY_MSP_H_

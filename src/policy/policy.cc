@@ -1,0 +1,260 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apqa::policy {
+
+namespace {
+
+// Removes clauses that are supersets of other clauses (absorption) and
+// duplicates. The result is sorted for canonical ordering.
+std::vector<Clause> AbsorbClauses(std::vector<Clause> clauses) {
+  std::sort(clauses.begin(), clauses.end(),
+            [](const Clause& a, const Clause& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<Clause> kept;
+  for (const Clause& c : clauses) {
+    bool absorbed = false;
+    for (const Clause& k : kept) {
+      if (std::includes(c.begin(), c.end(), k.begin(), k.end())) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.push_back(c);
+  }
+  return kept;
+}
+
+}  // namespace
+
+Policy Policy::Var(std::string name) {
+  if (name.empty()) throw std::invalid_argument("empty role name");
+  Policy p;
+  p.kind_ = Kind::kVar;
+  p.var_ = std::move(name);
+  return p;
+}
+
+Policy Policy::And(std::vector<Policy> children) {
+  if (children.empty()) throw std::invalid_argument("AND needs children");
+  if (children.size() == 1) return children[0];
+  Policy p;
+  p.kind_ = Kind::kAnd;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Policy Policy::Or(std::vector<Policy> children) {
+  if (children.empty()) throw std::invalid_argument("OR needs children");
+  if (children.size() == 1) return children[0];
+  Policy p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Policy Policy::OrOfRoles(const RoleSet& roles) {
+  std::vector<Policy> vars;
+  vars.reserve(roles.size());
+  for (const auto& r : roles) vars.push_back(Var(r));
+  return Or(std::move(vars));
+}
+
+Policy Policy::AndOfRoles(const RoleSet& roles) {
+  std::vector<Policy> vars;
+  vars.reserve(roles.size());
+  for (const auto& r : roles) vars.push_back(Var(r));
+  return And(std::move(vars));
+}
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '@' || c == '-';
+  }
+
+  Policy ParseOr() {
+    std::vector<Policy> terms;
+    terms.push_back(ParseAnd());
+    while (Eat('|')) terms.push_back(ParseAnd());
+    return Policy::Or(std::move(terms));
+  }
+
+  Policy ParseAnd() {
+    std::vector<Policy> terms;
+    terms.push_back(ParseAtom());
+    while (Eat('&')) terms.push_back(ParseAtom());
+    return Policy::And(std::move(terms));
+  }
+
+  Policy ParseAtom() {
+    SkipWs();
+    if (Eat('(')) {
+      Policy p = ParseOr();
+      if (!Eat(')')) throw std::invalid_argument("expected ')'");
+      return p;
+    }
+    std::size_t start = pos;
+    while (pos < s.size() && IsIdentChar(s[pos])) ++pos;
+    if (pos == start) {
+      throw std::invalid_argument("expected role name at position " +
+                                  std::to_string(start));
+    }
+    return Policy::Var(std::string(s.substr(start, pos - start)));
+  }
+};
+
+}  // namespace
+
+Policy Policy::Parse(std::string_view text) {
+  Parser p{text};
+  Policy result = p.ParseOr();
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    throw std::invalid_argument("trailing input in policy: " +
+                                std::string(text));
+  }
+  return result;
+}
+
+std::optional<Policy> Policy::TryParse(std::string_view text) {
+  try {
+    return Parse(text);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Policy Policy::FromDnfClauses(const std::vector<Clause>& clauses) {
+  if (clauses.empty()) throw std::invalid_argument("empty DNF");
+  std::vector<Policy> ors;
+  for (const Clause& c : clauses) {
+    if (c.empty()) throw std::invalid_argument("empty clause");
+    ors.push_back(AndOfRoles(c));
+  }
+  return Or(std::move(ors));
+}
+
+std::size_t Policy::Length() const {
+  if (kind_ == Kind::kVar) return 1;
+  std::size_t n = 0;
+  for (const Policy& c : children_) n += c.Length();
+  return n;
+}
+
+RoleSet Policy::Roles() const {
+  RoleSet out;
+  if (kind_ == Kind::kVar) {
+    out.insert(var_);
+    return out;
+  }
+  for (const Policy& c : children_) {
+    RoleSet sub = c.Roles();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool Policy::Evaluate(const RoleSet& roles) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return roles.count(var_) > 0;
+    case Kind::kAnd:
+      for (const Policy& c : children_) {
+        if (!c.Evaluate(roles)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Policy& c : children_) {
+        if (c.Evaluate(roles)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::vector<Clause> Policy::DnfClauses() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return {Clause{var_}};
+    case Kind::kOr: {
+      std::vector<Clause> out;
+      for (const Policy& c : children_) {
+        std::vector<Clause> sub = c.DnfClauses();
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return AbsorbClauses(std::move(out));
+    }
+    case Kind::kAnd: {
+      // Distribute: cross product of children's clause sets.
+      std::vector<Clause> acc = {Clause{}};
+      for (const Policy& c : children_) {
+        std::vector<Clause> sub = c.DnfClauses();
+        std::vector<Clause> next;
+        next.reserve(acc.size() * sub.size());
+        for (const Clause& a : acc) {
+          for (const Clause& b : sub) {
+            Clause merged = a;
+            merged.insert(b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return AbsorbClauses(std::move(acc));
+    }
+  }
+  return {};
+}
+
+Policy Policy::ToDnf() const { return FromDnfClauses(DnfClauses()); }
+
+std::string Policy::ToString() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return var_;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+Policy OrCombineDnf(const Policy& a, const Policy& b) {
+  std::vector<Clause> clauses = a.DnfClauses();
+  std::vector<Clause> more = b.DnfClauses();
+  clauses.insert(clauses.end(), more.begin(), more.end());
+  return Policy::FromDnfClauses(AbsorbClauses(std::move(clauses)));
+}
+
+}  // namespace apqa::policy

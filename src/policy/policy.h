@@ -1,0 +1,91 @@
+// Monotone boolean access policies (paper §3).
+//
+// A policy is a monotone formula over role names, e.g. "(RoleA & RoleB) |
+// RoleC". Policies annotate records; AP²G-tree internal nodes carry the OR of
+// their children's policies. The library keeps formulas as explicit ASTs so
+// the monotone-span-program construction (policy/msp.h) and the k-d-tree
+// split objective (§9.1) can walk them.
+#ifndef APQA_POLICY_POLICY_H_
+#define APQA_POLICY_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apqa::policy {
+
+// A set of roles held by a user (the paper's 𝒜) or mentioned by a policy.
+using RoleSet = std::set<std::string>;
+
+// One conjunctive clause of a DNF policy: the set of roles that must all be
+// held.
+using Clause = std::set<std::string>;
+
+class Policy {
+ public:
+  enum class Kind { kVar, kAnd, kOr };
+
+  Policy() : kind_(Kind::kVar) {}
+
+  static Policy Var(std::string name);
+  static Policy And(std::vector<Policy> children);
+  static Policy Or(std::vector<Policy> children);
+  // Convenience: OR of single roles (the super access policy ∨_{a∈𝒜'} a).
+  static Policy OrOfRoles(const RoleSet& roles);
+  // AND of single roles (used for CP-ABE transport policies ∧_{a∈𝒜} a).
+  static Policy AndOfRoles(const RoleSet& roles);
+
+  // Parses "(A & B) | C". Identifiers: [A-Za-z0-9_.@-]+. '&' binds tighter
+  // than '|'. Throws std::invalid_argument on malformed input.
+  static Policy Parse(std::string_view text);
+
+  // Non-throwing variant for untrusted wire input.
+  static std::optional<Policy> TryParse(std::string_view text);
+
+  // Builds a policy from DNF clauses (OR of ANDs). Empty clause set is
+  // invalid.
+  static Policy FromDnfClauses(const std::vector<Clause>& clauses);
+
+  Kind kind() const { return kind_; }
+  const std::string& var() const { return var_; }
+  const std::vector<Policy>& children() const { return children_; }
+
+  // Number of leaves (the paper's "policy length").
+  std::size_t Length() const;
+
+  // All role names mentioned.
+  RoleSet Roles() const;
+
+  // Monotone evaluation: true iff the role set satisfies the formula.
+  bool Evaluate(const RoleSet& roles) const;
+
+  // Disjunctive normal form as clause sets, with absorption (no clause is a
+  // superset of another) and deduplication.
+  std::vector<Clause> DnfClauses() const;
+
+  // A policy equivalent to this one, normalized to DNF.
+  Policy ToDnf() const;
+
+  // Canonical textual form, parseable by Parse. Used for hashing/signing and
+  // as a serialization format.
+  std::string ToString() const;
+
+  bool operator==(const Policy& o) const { return ToString() == o.ToString(); }
+
+ private:
+  Kind kind_;
+  std::string var_;
+  std::vector<Policy> children_;
+};
+
+// OR of two policies expressed in DNF, with clause absorption. This is the
+// internal-node policy rule of the AP²G-tree (Definition 6.1) — keeping the
+// result in reduced DNF keeps span programs small near the root.
+Policy OrCombineDnf(const Policy& a, const Policy& b);
+
+}  // namespace apqa::policy
+
+#endif  // APQA_POLICY_POLICY_H_

@@ -1,0 +1,245 @@
+#include "tpch/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/app_signature.h"
+#include "crypto/serde.h"
+#include "crypto/sha256.h"
+
+namespace apqa::tpch {
+
+namespace {
+
+// Row-count reduction factor relative to real TPC-H (6,000,000 rows/SF):
+// keeps the full-tree ADS buildable on a single core while preserving the
+// scale *ratios* between the paper's configurations.
+constexpr std::size_t kLineitemRowsPerScale = 6000;
+constexpr std::size_t kOrdersRowsPerScale = 1500;
+
+const char* kComments[] = {
+    "carefully packed", "final deposits", "ironic requests", "quick theodolites",
+    "pending platelets", "express accounts", "bold foxes", "silent pinto beans",
+};
+
+}  // namespace
+
+TpchGen::TpchGen(double scale, std::uint64_t seed)
+    : seed_(seed),
+      lineitem_rows_(static_cast<std::size_t>(kLineitemRowsPerScale * scale)),
+      orders_rows_(static_cast<std::size_t>(kOrdersRowsPerScale * scale)) {}
+
+std::vector<LineitemRow> TpchGen::Lineitem() {
+  Rng rng(seed_);
+  std::vector<LineitemRow> rows;
+  rows.reserve(lineitem_rows_);
+  for (std::size_t i = 0; i < lineitem_rows_; ++i) {
+    LineitemRow row;
+    row.orderkey = 1 + rng.NextU64() % (orders_rows_ > 0 ? orders_rows_ * 4 : 4);
+    row.shipdate = static_cast<std::uint32_t>(rng.NextU64() % 2526);
+    row.discount = static_cast<std::uint32_t>(rng.NextU64() % 11);
+    row.quantity = 1 + static_cast<std::uint32_t>(rng.NextU64() % 50);
+    row.extendedprice =
+        100.0 + static_cast<double>(rng.NextU64() % 900000) / 10.0;
+    row.comment = kComments[rng.NextU64() % 8];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<OrdersRow> TpchGen::Orders() {
+  Rng rng(seed_ ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<OrdersRow> rows;
+  rows.reserve(orders_rows_);
+  for (std::size_t i = 0; i < orders_rows_; ++i) {
+    OrdersRow row;
+    row.orderkey = 1 + rng.NextU64() % (orders_rows_ * 4);
+    row.orderdate = static_cast<std::uint32_t>(rng.NextU64() % 2406);
+    row.clerk = "Clerk#" + std::to_string(rng.NextU64() % 1000);
+    rows.push_back(std::move(row));
+  }
+  // orderkey must be unique in Orders.
+  std::sort(rows.begin(), rows.end(),
+            [](const OrdersRow& a, const OrdersRow& b) {
+              return a.orderkey < b.orderkey;
+            });
+  rows.erase(std::unique(rows.begin(), rows.end(),
+                         [](const OrdersRow& a, const OrdersRow& b) {
+                           return a.orderkey == b.orderkey;
+                         }),
+             rows.end());
+  return rows;
+}
+
+core::Point DiscretizeLineitem(const LineitemRow& row, const Domain& domain) {
+  std::uint32_t side = domain.SideLength();
+  core::Point p;
+  p.reserve(domain.dims);
+  // (shipdate, discount, quantity), truncated to the domain's dimensions.
+  std::uint32_t attrs[3] = {row.shipdate, row.discount, row.quantity - 1};
+  std::uint32_t limits[3] = {2526, 11, 50};
+  for (int d = 0; d < domain.dims && d < 3; ++d) {
+    p.push_back(static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(attrs[d]) * side / limits[d]));
+  }
+  while (static_cast<int>(p.size()) < domain.dims) p.push_back(0);
+  return p;
+}
+
+namespace {
+
+std::string ValueOf(const LineitemRow& row) {
+  return "lineitem|" + std::to_string(row.orderkey) + "|" +
+         std::to_string(row.extendedprice) + "|" + row.comment;
+}
+
+}  // namespace
+
+std::vector<Record> LineitemRecords(const std::vector<LineitemRow>& rows,
+                                    const Domain& domain,
+                                    const std::vector<Policy>& policies) {
+  std::map<core::Point, Record> by_key;
+  for (const LineitemRow& row : rows) {
+    core::Point key = DiscretizeLineitem(row, domain);
+    if (by_key.count(key)) continue;  // drop key collisions
+    Record r;
+    r.key = key;
+    r.value = ValueOf(row);
+    // Same query key → same policy (paper §10).
+    auto enc = core::EncodeKey(key);
+    crypto::Fr h = crypto::HashToFr(enc.data(), enc.size());
+    std::uint64_t idx = h.ToCanonical()[0] % policies.size();
+    r.policy = policies[idx];
+    by_key.emplace(key, std::move(r));
+  }
+  std::vector<Record> out;
+  out.reserve(by_key.size());
+  for (auto& [key, rec] : by_key) out.push_back(std::move(rec));
+  return out;
+}
+
+namespace {
+
+std::vector<Record> ByOrderKeyImpl(
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs,
+    const Domain& domain, const std::vector<Policy>& policies) {
+  std::map<core::Point, Record> by_key;
+  std::uint32_t side = domain.SideLength();
+  for (const auto& [orderkey, value] : kvs) {
+    core::Point key{static_cast<std::uint32_t>(orderkey % side)};
+    if (by_key.count(key)) continue;
+    Record r;
+    r.key = key;
+    r.value = value;
+    auto enc = core::EncodeKey(key);
+    crypto::Fr h = crypto::HashToFr(enc.data(), enc.size());
+    r.policy = policies[h.ToCanonical()[0] % policies.size()];
+    by_key.emplace(key, std::move(r));
+  }
+  std::vector<Record> out;
+  for (auto& [key, rec] : by_key) out.push_back(std::move(rec));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Record> LineitemByOrderKey(const std::vector<LineitemRow>& rows,
+                                       const Domain& domain,
+                                       const std::vector<Policy>& policies) {
+  std::vector<std::pair<std::uint64_t, std::string>> kvs;
+  kvs.reserve(rows.size());
+  for (const auto& row : rows) kvs.emplace_back(row.orderkey, ValueOf(row));
+  return ByOrderKeyImpl(kvs, domain, policies);
+}
+
+std::vector<Record> OrdersByOrderKey(const std::vector<OrdersRow>& rows,
+                                     const Domain& domain,
+                                     const std::vector<Policy>& policies) {
+  std::vector<std::pair<std::uint64_t, std::string>> kvs;
+  kvs.reserve(rows.size());
+  for (const auto& row : rows) {
+    kvs.emplace_back(row.orderkey,
+                     "orders|" + std::to_string(row.orderdate) + "|" + row.clerk);
+  }
+  return ByOrderKeyImpl(kvs, domain, policies);
+}
+
+core::Box RandomRangeQuery(const Domain& domain, double selectivity,
+                           Rng* rng) {
+  // Per-dimension extent so the box volume is ~selectivity of the domain.
+  double per_dim = std::pow(selectivity, 1.0 / domain.dims);
+  std::uint32_t side = domain.SideLength();
+  core::Box box;
+  box.lo.resize(domain.dims);
+  box.hi.resize(domain.dims);
+  for (int d = 0; d < domain.dims; ++d) {
+    std::uint32_t extent = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(per_dim * side)));
+    extent = std::min(extent, side);
+    std::uint32_t lo =
+        static_cast<std::uint32_t>(rng->NextU64() % (side - extent + 1));
+    box.lo[d] = lo;
+    box.hi[d] = lo + extent - 1;
+  }
+  return box;
+}
+
+PolicyGen::PolicyGen(int num_policies, int num_roles, int or_fan, int and_fan,
+                     std::uint64_t seed) {
+  for (int i = 0; i < num_roles; ++i) {
+    role_names_.push_back("Role" + std::to_string(i));
+    universe_.insert(role_names_.back());
+  }
+  Rng rng(seed);
+  std::set<std::string> seen;
+  while (static_cast<int>(policies_.size()) < num_policies) {
+    int clauses = 1 + static_cast<int>(rng.NextU64() % or_fan);
+    std::vector<policy::Clause> dnf;
+    for (int c = 0; c < clauses; ++c) {
+      int width = 1 + static_cast<int>(rng.NextU64() % and_fan);
+      policy::Clause clause;
+      while (static_cast<int>(clause.size()) < width) {
+        clause.insert(role_names_[rng.NextU64() % role_names_.size()]);
+      }
+      dnf.push_back(std::move(clause));
+    }
+    Policy p = Policy::FromDnfClauses(dnf);
+    if (seen.insert(p.ToString()).second) policies_.push_back(std::move(p));
+  }
+}
+
+const Policy& PolicyGen::PolicyForKey(const core::Point& key) const {
+  auto enc = core::EncodeKey(key);
+  crypto::Fr h = crypto::HashToFr(enc.data(), enc.size());
+  return policies_[h.ToCanonical()[0] % policies_.size()];
+}
+
+RoleSet PolicyGen::RolesForAccessFraction(double fraction) const {
+  RoleSet roles;
+  auto accessible = [&]() {
+    std::size_t n = 0;
+    for (const auto& p : policies_) n += p.Evaluate(roles) ? 1 : 0;
+    return static_cast<double>(n) / policies_.size();
+  };
+  // Greedily add the role that most increases coverage.
+  while (accessible() < fraction && roles.size() < universe_.size()) {
+    std::string best;
+    double best_gain = -1.0;
+    for (const auto& r : role_names_) {
+      if (roles.count(r)) continue;
+      roles.insert(r);
+      double f = accessible();
+      roles.erase(r);
+      if (f > best_gain) {
+        best_gain = f;
+        best = r;
+      }
+    }
+    roles.insert(best);
+  }
+  return roles;
+}
+
+}  // namespace apqa::tpch

@@ -1,0 +1,111 @@
+// TPC-H-style workload substrate (paper §10).
+//
+// The paper evaluates on TPC-H Lineitem with query attributes
+// (shipdate, discount, quantity), Q6-shaped range queries, and the Q12 join
+// between Lineitem and Orders on orderkey. This module provides a
+// deterministic, scaled-down generator with the same schema slice and query
+// shapes: absolute cardinalities are reduced (full-tree ADS on one core),
+// but the distributions and the policy-assignment rule ("records under the
+// same query key share the same access policy") follow the paper.
+#ifndef APQA_TPCH_TPCH_H_
+#define APQA_TPCH_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "crypto/rng.h"
+#include "policy/policy.h"
+
+namespace apqa::tpch {
+
+using core::Domain;
+using core::Record;
+using crypto::Rng;
+using policy::Policy;
+using policy::RoleSet;
+
+struct LineitemRow {
+  std::uint64_t orderkey = 0;
+  std::uint32_t shipdate = 0;   // days since 1992-01-01, [0, 2526)
+  std::uint32_t discount = 0;   // percent, [0, 11)
+  std::uint32_t quantity = 0;   // [1, 51)
+  double extendedprice = 0.0;
+  std::string comment;
+};
+
+struct OrdersRow {
+  std::uint64_t orderkey = 0;
+  std::uint32_t orderdate = 0;
+  std::string clerk;
+};
+
+// Deterministic generator; `scale` mirrors the TPC-H scale factor with the
+// row count reduced by a constant factor so the grid ADS stays tractable.
+class TpchGen {
+ public:
+  TpchGen(double scale, std::uint64_t seed);
+
+  std::vector<LineitemRow> Lineitem();
+  std::vector<OrdersRow> Orders();
+
+  std::size_t lineitem_rows() const { return lineitem_rows_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t lineitem_rows_;
+  std::size_t orders_rows_;
+};
+
+// Discretizes the three query attributes into a d-dimensional grid domain
+// (paper footnote 1 / [13]): each attribute is scaled into [0, 2^bits).
+core::Point DiscretizeLineitem(const LineitemRow& row, const Domain& domain);
+
+// Converts rows into records over `domain`, assigning policies with the
+// paper's rule (same query key → same policy, chosen from `policies` by key
+// hash). Rows that collide on the discretized key are dropped (the
+// duplicates module covers the colliding case).
+std::vector<Record> LineitemRecords(const std::vector<LineitemRow>& rows,
+                                    const Domain& domain,
+                                    const std::vector<Policy>& policies);
+
+// 1-D records keyed by orderkey for the Q12 join (Lineitem ⋈ Orders).
+std::vector<Record> LineitemByOrderKey(const std::vector<LineitemRow>& rows,
+                                       const Domain& domain,
+                                       const std::vector<Policy>& policies);
+std::vector<Record> OrdersByOrderKey(const std::vector<OrdersRow>& rows,
+                                     const Domain& domain,
+                                     const std::vector<Policy>& policies);
+
+// Q6-shaped query: a random range box covering ~`selectivity` of the domain
+// volume.
+core::Box RandomRangeQuery(const Domain& domain, double selectivity, Rng* rng);
+
+// Random DNF policy generator with the paper's parameters: `or_fan` AND
+// clauses of up to `and_fan` roles each, over `num_roles` distinct roles.
+class PolicyGen {
+ public:
+  PolicyGen(int num_policies, int num_roles, int or_fan, int and_fan,
+            std::uint64_t seed);
+
+  const std::vector<Policy>& policies() const { return policies_; }
+  const RoleSet& universe() const { return universe_; }
+
+  // Deterministic policy for a query key (same key → same policy).
+  const Policy& PolicyForKey(const core::Point& key) const;
+
+  // A role set that can access roughly `fraction` of records whose policies
+  // are drawn uniformly from `policies()`: roles are added greedily until
+  // the fraction of satisfied policies reaches the target.
+  RoleSet RolesForAccessFraction(double fraction) const;
+
+ private:
+  std::vector<Policy> policies_;
+  RoleSet universe_;
+  std::vector<std::string> role_names_;
+};
+
+}  // namespace apqa::tpch
+
+#endif  // APQA_TPCH_TPCH_H_

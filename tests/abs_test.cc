@@ -1,0 +1,194 @@
+// Tests for the ABS scheme with predicate relaxation (§5.2).
+#include <gtest/gtest.h>
+
+#include "abs/abs.h"
+#include "crypto/serde.h"
+
+namespace apqa::abs {
+namespace {
+
+using crypto::Rng;
+
+std::vector<std::uint8_t> Msg(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+class AbsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(2024);
+    Abs::Setup(rng_.get(), &msk_, &mvk_);
+    universe_ = {"Role0", "RoleA", "RoleB", "RoleC", "RoleD"};
+    sk_all_ = Abs::KeyGen(msk_, universe_, rng_.get());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  MasterKey msk_;
+  VerifyKey mvk_;
+  RoleSet universe_;
+  SigningKey sk_all_;
+};
+
+TEST_F(AbsTest, SignVerifyRoundTrip) {
+  Policy pred = Policy::Parse("(RoleA & RoleB) | RoleC");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("hello"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("hello"), pred, *sig));
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("hello"), pred, *sig, /*exact=*/true));
+}
+
+TEST_F(AbsTest, VerifyRejectsWrongMessage) {
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("hello"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("hellO"), pred, *sig));
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg(""), pred, *sig));
+}
+
+TEST_F(AbsTest, VerifyRejectsWrongPredicate) {
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  // Same shape, different role.
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), Policy::Parse("RoleA & RoleC"), *sig));
+}
+
+TEST_F(AbsTest, VerifyRejectsTamperedSignature) {
+  Policy pred = Policy::Parse("(RoleA & RoleB) | RoleC");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  Signature bad = *sig;
+  bad.y = bad.y + crypto::G1Generator();
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), pred, bad));
+  bad = *sig;
+  bad.s[0] = bad.s[0].Double();
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), pred, bad));
+  bad = *sig;
+  bad.p[0] = bad.p[0] + crypto::G2Generator();
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), pred, bad));
+  bad = *sig;
+  bad.tau[0] ^= 1;
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), pred, bad));
+}
+
+TEST_F(AbsTest, SignFailsWithoutSatisfyingAttributes) {
+  SigningKey sk_c = Abs::KeyGen(msk_, {"RoleC"}, rng_.get());
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  EXPECT_FALSE(Abs::Sign(mvk_, sk_c, Msg("m"), pred, rng_.get()).has_value());
+  // But a predicate it satisfies works, even mentioning foreign roles.
+  Policy pred2 = Policy::Parse("(RoleA & RoleB) | RoleC");
+  auto sig = Abs::Sign(mvk_, sk_c, Msg("m"), pred2, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), pred2, *sig));
+}
+
+TEST_F(AbsTest, RelaxProducesVerifiableSignature) {
+  // Predicate RoleA & RoleB; user owns only RoleC, so the super policy is
+  // the OR of everything they lack.
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  RoleSet lacks = {"Role0", "RoleA", "RoleB", "RoleD"};  // universe \ {RoleC}
+  auto relaxed = Abs::Relax(mvk_, *sig, pred, Msg("m"), lacks, rng_.get());
+  ASSERT_TRUE(relaxed.has_value());
+  Policy super = Policy::OrOfRoles(lacks);
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), super, *relaxed));
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), super, *relaxed, /*exact=*/true));
+  // The relaxed signature does not verify under the original predicate.
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("m"), pred, *relaxed));
+}
+
+TEST_F(AbsTest, RelaxFailsWhenUserCouldAccess) {
+  // Paper's running example: predicate RoleA & RoleB cannot be relaxed to
+  // Role0 | RoleC because {RoleA, RoleB} avoids that set and still satisfies.
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(
+      Abs::Relax(mvk_, *sig, pred, Msg("m"), {"Role0", "RoleC"}, rng_.get())
+          .has_value());
+}
+
+TEST_F(AbsTest, RelaxedSignatureBindsMessage) {
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  RoleSet lacks = {"Role0", "RoleA", "RoleB", "RoleD"};
+  auto relaxed = Abs::Relax(mvk_, *sig, pred, Msg("m"), lacks, rng_.get());
+  ASSERT_TRUE(relaxed.has_value());
+  Policy super = Policy::OrOfRoles(lacks);
+  EXPECT_FALSE(Abs::Verify(mvk_, Msg("x"), super, *relaxed));
+}
+
+TEST_F(AbsTest, RelaxHandlesDuplicateAttributesInPredicate) {
+  // RoleA appears in two clauses; purge keeps multiple rows with the same
+  // label which must be merged (Algorithm 2, step 2).
+  Policy pred = Policy::Parse("(RoleA & RoleB) | (RoleA & RoleC)");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  // User owns RoleD only: lacks everything else.
+  RoleSet lacks = {"Role0", "RoleA", "RoleB", "RoleC"};
+  auto relaxed = Abs::Relax(mvk_, *sig, pred, Msg("m"), lacks, rng_.get());
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), Policy::OrOfRoles(lacks), *relaxed));
+}
+
+TEST_F(AbsTest, RelaxOnComplexPredicates) {
+  Rng rng(31337);
+  Policy pred = Policy::Parse("(RoleA & (RoleB | RoleC)) | (RoleC & RoleD)");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, &rng);
+  ASSERT_TRUE(sig.has_value());
+  // User owns {RoleB}: complement {Role0, RoleA, RoleC, RoleD}; the
+  // predicate is not satisfiable by {RoleB} alone, so relaxation succeeds.
+  RoleSet lacks = {"Role0", "RoleA", "RoleC", "RoleD"};
+  auto relaxed = Abs::Relax(mvk_, *sig, pred, Msg("m"), lacks, &rng);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), Policy::OrOfRoles(lacks), *relaxed));
+  // User owns {RoleA, RoleB}: predicate satisfied, relaxation must fail.
+  RoleSet lacks2 = {"Role0", "RoleC", "RoleD"};
+  EXPECT_FALSE(Abs::Relax(mvk_, *sig, pred, Msg("m"), lacks2, &rng).has_value());
+}
+
+TEST_F(AbsTest, SignatureSerializationRoundTrip) {
+  Policy pred = Policy::Parse("(RoleA & RoleB) | RoleC");
+  auto sig = Abs::Sign(mvk_, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  common::ByteWriter w;
+  sig->Serialize(&w);
+  EXPECT_EQ(w.size(), sig->SerializedSize());
+  common::ByteReader r(w.data());
+  Signature back = Signature::Deserialize(&r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(Abs::Verify(mvk_, Msg("m"), pred, back));
+}
+
+TEST_F(AbsTest, VerifyKeySerializationRoundTrip) {
+  common::ByteWriter w;
+  mvk_.Serialize(&w);
+  common::ByteReader r(w.data());
+  VerifyKey back = VerifyKey::Deserialize(&r);
+  EXPECT_TRUE(r.AtEnd());
+  Policy pred = Policy::Parse("RoleA");
+  auto sig = Abs::Sign(back, sk_all_, Msg("m"), pred, rng_.get());
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(Abs::Verify(back, Msg("m"), pred, *sig));
+}
+
+TEST_F(AbsTest, SignatureSizeGrowsWithPredicateLength) {
+  auto s1 = Abs::Sign(mvk_, sk_all_, Msg("m"), Policy::Parse("RoleA"), rng_.get());
+  auto s4 = Abs::Sign(mvk_, sk_all_, Msg("m"),
+                      Policy::Parse("(RoleA & RoleB) | (RoleC & RoleD)"),
+                      rng_.get());
+  ASSERT_TRUE(s1.has_value() && s4.has_value());
+  EXPECT_LT(s1->SerializedSize(), s4->SerializedSize());
+}
+
+TEST_F(AbsTest, KeyGenCovers) {
+  SigningKey sk = Abs::KeyGen(msk_, {"RoleA", "RoleB"}, rng_.get());
+  EXPECT_TRUE(sk.Covers({"RoleA"}));
+  EXPECT_TRUE(sk.Covers({"RoleA", "RoleB"}));
+  EXPECT_FALSE(sk.Covers({"RoleC"}));
+}
+
+}  // namespace
+}  // namespace apqa::abs

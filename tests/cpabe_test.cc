@@ -1,0 +1,183 @@
+// Tests for CP-ABE and the hybrid AES envelope, plus AES-128 known-answer
+// vectors (FIPS 197 / NIST SP 800-38A).
+#include <gtest/gtest.h>
+
+#include "cpabe/cpabe.h"
+
+namespace apqa::cpabe {
+namespace {
+
+using crypto::Rng;
+
+TEST(Aes128Test, Fips197Vector) {
+  // FIPS 197 Appendix B.
+  crypto::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  std::uint8_t block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                            0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  crypto::Aes128 aes(key);
+  aes.EncryptBlock(block);
+  const std::uint8_t want[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                 0x19, 0x6a, 0x0b, 0x32};
+  EXPECT_EQ(0, std::memcmp(block, want, 16));
+}
+
+TEST(Aes128Test, CtrRoundTripAndLengths) {
+  crypto::AesKey key{};
+  crypto::AesNonce nonce{};
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+    std::vector<std::uint8_t> msg(len);
+    for (std::size_t i = 0; i < len; ++i) msg[i] = static_cast<std::uint8_t>(i);
+    auto ct = crypto::AesCtr(key, nonce, msg);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(crypto::AesCtr(key, nonce, ct), msg);
+    if (len >= 16) EXPECT_NE(ct, msg);
+  }
+}
+
+class CpAbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(77);
+    CpAbe::Setup(rng_.get(), &mk_, &pk_);
+  }
+  std::unique_ptr<Rng> rng_;
+  MasterKey mk_;
+  PublicKey pk_;
+};
+
+TEST_F(CpAbeTest, EncryptDecryptSatisfied) {
+  Policy pol = Policy::Parse("(Doctor & Cancer) | SeniorResearcher");
+  GT m = crypto::Pairing(crypto::G1Mul(rng_->NextNonZeroFr()),
+                         crypto::G2Mul(rng_->NextNonZeroFr()));
+  Ciphertext ct = CpAbe::Encrypt(pk_, m, pol, rng_.get());
+
+  SecretKey sk1 = CpAbe::KeyGen(mk_, pk_, {"Doctor", "Cancer"}, rng_.get());
+  auto out1 = CpAbe::Decrypt(pk_, sk1, ct);
+  ASSERT_TRUE(out1.has_value());
+  EXPECT_EQ(*out1, m);
+
+  SecretKey sk2 = CpAbe::KeyGen(mk_, pk_, {"SeniorResearcher"}, rng_.get());
+  auto out2 = CpAbe::Decrypt(pk_, sk2, ct);
+  ASSERT_TRUE(out2.has_value());
+  EXPECT_EQ(*out2, m);
+}
+
+TEST_F(CpAbeTest, DecryptFailsUnsatisfied) {
+  Policy pol = Policy::Parse("Doctor & Cancer");
+  GT m = crypto::Pairing(crypto::G1Generator(), crypto::G2Generator());
+  Ciphertext ct = CpAbe::Encrypt(pk_, m, pol, rng_.get());
+  SecretKey sk = CpAbe::KeyGen(mk_, pk_, {"Doctor"}, rng_.get());
+  EXPECT_FALSE(CpAbe::Decrypt(pk_, sk, ct).has_value());
+  SecretKey sk_other = CpAbe::KeyGen(mk_, pk_, {"Nurse", "Cancer"}, rng_.get());
+  EXPECT_FALSE(CpAbe::Decrypt(pk_, sk_other, ct).has_value());
+}
+
+TEST_F(CpAbeTest, WrongUsersKeyYieldsGarbage) {
+  // A key for a different attribute set that still satisfies the policy
+  // decrypts correctly; two independent keys must agree.
+  Policy pol = Policy::Parse("A | B");
+  GT m = crypto::Pairing(crypto::G1Generator(), crypto::G2Generator());
+  Ciphertext ct = CpAbe::Encrypt(pk_, m, pol, rng_.get());
+  SecretKey ska = CpAbe::KeyGen(mk_, pk_, {"A"}, rng_.get());
+  SecretKey skb = CpAbe::KeyGen(mk_, pk_, {"B"}, rng_.get());
+  auto outa = CpAbe::Decrypt(pk_, ska, ct);
+  auto outb = CpAbe::Decrypt(pk_, skb, ct);
+  ASSERT_TRUE(outa.has_value() && outb.has_value());
+  EXPECT_EQ(*outa, *outb);
+  EXPECT_EQ(*outa, m);
+}
+
+TEST_F(CpAbeTest, EnvelopeSealOpen) {
+  Policy pol = Policy::Parse("RoleA & RoleB");
+  std::vector<std::uint8_t> msg = {'s', 'e', 'c', 'r', 'e', 't', '!', 0x00,
+                                   0xff, 0x80};
+  Envelope env = Seal(pk_, pol, msg, rng_.get());
+  EXPECT_NE(env.body, msg);
+
+  SecretKey good = CpAbe::KeyGen(mk_, pk_, {"RoleA", "RoleB", "RoleC"}, rng_.get());
+  auto open = Open(pk_, good, env);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(*open, msg);
+
+  SecretKey bad = CpAbe::KeyGen(mk_, pk_, {"RoleA"}, rng_.get());
+  EXPECT_FALSE(Open(pk_, bad, env).has_value());
+}
+
+TEST_F(CpAbeTest, EnvelopeEmptyPayload) {
+  Policy pol = Policy::Parse("RoleA");
+  Envelope env = Seal(pk_, pol, {}, rng_.get());
+  SecretKey sk = CpAbe::KeyGen(mk_, pk_, {"RoleA"}, rng_.get());
+  auto open = Open(pk_, sk, env);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_TRUE(open->empty());
+}
+
+TEST_F(CpAbeTest, CiphertextSerializationRoundTrip) {
+  Policy pol = Policy::Parse("(A & B) | C");
+  GT m = crypto::Pairing(crypto::G1Generator(), crypto::G2Generator());
+  Ciphertext ct = CpAbe::Encrypt(pk_, m, pol, rng_.get());
+  common::ByteWriter w;
+  ct.Serialize(&w);
+  EXPECT_EQ(w.size(), ct.SerializedSize());
+  common::ByteReader r(w.data());
+  Ciphertext back = Ciphertext::Deserialize(&r);
+  ASSERT_TRUE(r.ok());
+  SecretKey sk = CpAbe::KeyGen(mk_, pk_, {"C"}, rng_.get());
+  auto out = CpAbe::Decrypt(pk_, sk, back);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, m);
+}
+
+TEST_F(CpAbeTest, EnvelopeSerializationRoundTrip) {
+  Policy pol = Policy::Parse("RoleA");
+  std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  Envelope env = Seal(pk_, pol, msg, rng_.get());
+  common::ByteWriter w;
+  env.Serialize(&w);
+  common::ByteReader r(w.data());
+  Envelope back = Envelope::Deserialize(&r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  SecretKey sk = CpAbe::KeyGen(mk_, pk_, {"RoleA"}, rng_.get());
+  auto open = Open(pk_, sk, back);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(*open, msg);
+}
+
+TEST_F(CpAbeTest, TruncatedEnvelopeFailsGracefully) {
+  Policy pol = Policy::Parse("RoleA");
+  Envelope env = Seal(pk_, pol, {9, 9, 9}, rng_.get());
+  common::ByteWriter w;
+  env.Serialize(&w);
+  // Truncate at various points: deserialization must not crash and the
+  // reader must flag the error.
+  auto bytes = w.data();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{10}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    common::ByteReader r(bytes.data(), cut);
+    Envelope back = Envelope::Deserialize(&r);
+    EXPECT_FALSE(r.ok() && r.AtEnd());
+  }
+}
+
+TEST_F(CpAbeTest, ComplexPolicyAcrossLattice) {
+  Policy pol = Policy::Parse("(A & B) | (C & D & E) | (A & E)");
+  GT m = crypto::Pairing(crypto::G1Generator(), crypto::G2Generator());
+  Ciphertext ct = CpAbe::Encrypt(pk_, m, pol, rng_.get());
+  std::vector<std::string> uni = {"A", "B", "C", "D", "E"};
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    RoleSet roles;
+    for (int i = 0; i < 5; ++i) {
+      if (mask & (1u << i)) roles.insert(uni[i]);
+    }
+    SecretKey sk = CpAbe::KeyGen(mk_, pk_, roles, rng_.get());
+    auto out = CpAbe::Decrypt(pk_, sk, ct);
+    EXPECT_EQ(out.has_value(), pol.Evaluate(roles)) << "mask=" << mask;
+    if (out.has_value()) EXPECT_EQ(*out, m);
+  }
+}
+
+}  // namespace
+}  // namespace apqa::cpabe

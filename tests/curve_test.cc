@@ -1,0 +1,119 @@
+// Tests for G1/G2 group law and the standard BLS12-381 generators.
+#include <gtest/gtest.h>
+
+#include "crypto/curve.h"
+#include "crypto/rng.h"
+
+namespace apqa::crypto {
+namespace {
+
+TEST(G1Test, GeneratorOnCurve) {
+  EXPECT_TRUE(G1Generator().OnCurve(G1CurveB()));
+  EXPECT_FALSE(G1Generator().IsInfinity());
+}
+
+TEST(G1Test, GeneratorHasOrderR) {
+  // r * G == infinity validates both the subgroup order constant and the
+  // generator coordinates.
+  Limbs<4> r = FrTag::kModulus;
+  G1 acc = G1::Infinity();
+  const G1& g = G1Generator();
+  for (std::size_t i = BitLengthLimbs<4>(r); i-- > 0;) {
+    acc = acc.Double();
+    if (BitLimbs<4>(r, i)) acc = acc + g;
+  }
+  EXPECT_TRUE(acc.IsInfinity());
+}
+
+TEST(G2Test, GeneratorOnCurve) {
+  EXPECT_TRUE(G2Generator().OnCurve(G2CurveB()));
+}
+
+TEST(G2Test, GeneratorHasOrderR) {
+  Limbs<4> r = FrTag::kModulus;
+  G2 acc = G2::Infinity();
+  const G2& g = G2Generator();
+  for (std::size_t i = BitLengthLimbs<4>(r); i-- > 0;) {
+    acc = acc.Double();
+    if (BitLimbs<4>(r, i)) acc = acc + g;
+  }
+  EXPECT_TRUE(acc.IsInfinity());
+}
+
+TEST(G1Test, GroupLaws) {
+  Rng rng(42);
+  G1 a = G1Mul(rng.NextFr());
+  G1 b = G1Mul(rng.NextFr());
+  G1 c = G1Mul(rng.NextFr());
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a + G1::Infinity(), a);
+  EXPECT_TRUE((a - a).IsInfinity());
+  EXPECT_EQ(a.Double(), a + a);
+  EXPECT_TRUE(a.OnCurve(G1CurveB()));
+  EXPECT_TRUE((a + b).OnCurve(G1CurveB()));
+}
+
+TEST(G1Test, ScalarMulDistributes) {
+  Rng rng(43);
+  Fr x = rng.NextFr(), y = rng.NextFr();
+  // g^(x+y) == g^x * g^y
+  EXPECT_EQ(G1Mul(x + y), G1Mul(x) + G1Mul(y));
+  // (g^x)^y == g^(xy)
+  EXPECT_EQ(G1Mul(x).ScalarMul(y), G1Mul(x * y));
+}
+
+TEST(G2Test, ScalarMulDistributes) {
+  Rng rng(44);
+  Fr x = rng.NextFr(), y = rng.NextFr();
+  EXPECT_EQ(G2Mul(x + y), G2Mul(x) + G2Mul(y));
+  EXPECT_EQ(G2Mul(x).ScalarMul(y), G2Mul(x * y));
+}
+
+TEST(G1Test, AffineRoundTrip) {
+  Rng rng(45);
+  G1 a = G1Mul(rng.NextFr());
+  Fp ax, ay;
+  a.ToAffine(&ax, &ay);
+  EXPECT_EQ(G1::FromAffine(ax, ay), a);
+}
+
+TEST(G1Test, ScalarMulByZeroAndOne) {
+  EXPECT_TRUE(G1Mul(Fr::Zero()).IsInfinity());
+  EXPECT_EQ(G1Mul(Fr::One()), G1Generator());
+}
+
+TEST(G1Test, WnafMatchesBinaryScalarMul) {
+  Rng rng(47);
+  const G1& g = G1Generator();
+  for (int i = 0; i < 20; ++i) {
+    Fr k = rng.NextFr();
+    EXPECT_EQ(g.ScalarMul(k), g.ScalarMulBinary(k));
+  }
+  // Edge scalars.
+  EXPECT_TRUE(g.ScalarMul(Fr::Zero()).IsInfinity());
+  EXPECT_EQ(g.ScalarMul(Fr::One()), g);
+  EXPECT_EQ(g.ScalarMul(-Fr::One()), -g);
+  EXPECT_EQ(g.ScalarMul(Fr::FromU64(15)), g.ScalarMulBinary(Fr::FromU64(15)));
+  EXPECT_EQ(g.ScalarMul(Fr::FromU64(16)), g.ScalarMulBinary(Fr::FromU64(16)));
+}
+
+TEST(G2Test, WnafMatchesBinaryScalarMul) {
+  Rng rng(48);
+  const G2& g = G2Generator();
+  for (int i = 0; i < 10; ++i) {
+    Fr k = rng.NextFr();
+    EXPECT_EQ(g.ScalarMul(k), g.ScalarMulBinary(k));
+  }
+}
+
+TEST(G1Test, AddInverseEdgeCases) {
+  Rng rng(46);
+  G1 a = G1Mul(rng.NextFr());
+  EXPECT_TRUE((a + (-a)).IsInfinity());
+  EXPECT_EQ(G1::Infinity() + a, a);
+  EXPECT_TRUE(G1::Infinity().Double().IsInfinity());
+}
+
+}  // namespace
+}  // namespace apqa::crypto

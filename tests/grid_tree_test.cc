@@ -1,0 +1,142 @@
+// Unit tests for the AP²G-tree structure itself (navigation, policies,
+// pseudo records, and the DO → SP serialization of the outsourced ADS).
+#include <gtest/gtest.h>
+
+#include "core/range_query.h"
+#include "core/system.h"
+
+namespace apqa::core {
+namespace {
+
+class GridTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(777);
+    abs::Abs::Setup(rng_.get(), &msk_, &mvk_);
+    universe_ = {"RoleA", "RoleB"};
+    RoleSet all = universe_;
+    all.insert(kPseudoRole);
+    sk_ = abs::Abs::KeyGen(msk_, all, rng_.get());
+  }
+
+  GridTree BuildSmall() {
+    Domain domain{2, 2};  // 4x4
+    std::vector<Record> records = {
+        Record{Point{0, 1}, "a", Policy::Parse("RoleA")},
+        Record{Point{3, 2}, "b", Policy::Parse("RoleB")},
+    };
+    return GridTree::Build(mvk_, sk_, domain, records, rng_.get());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  abs::MasterKey msk_;
+  abs::VerifyKey mvk_;
+  RoleSet universe_;
+  abs::SigningKey sk_;
+};
+
+TEST_F(GridTreeTest, FullTreeShape) {
+  GridTree tree = BuildSmall();
+  EXPECT_EQ(tree.LeafCount(), 16u);
+  EXPECT_EQ(tree.NodeCount(), 16u + 4u + 1u);
+  EXPECT_EQ(tree.depth(), 2);
+  const auto& root = tree.GetNode(tree.Root());
+  EXPECT_FALSE(root.is_leaf);
+  EXPECT_EQ(root.box, (Box{Point{0, 0}, Point{3, 3}}));
+}
+
+TEST_F(GridTreeTest, ChildrenPartitionParent) {
+  GridTree tree = BuildSmall();
+  auto children = tree.Children(tree.Root());
+  ASSERT_EQ(children.size(), 4u);
+  std::uint64_t vol = 0;
+  for (auto c : children) {
+    const auto& node = tree.GetNode(c);
+    EXPECT_TRUE(tree.GetNode(tree.Root()).box.ContainsBox(node.box));
+    vol += node.box.Volume();
+  }
+  EXPECT_EQ(vol, 16u);
+}
+
+TEST_F(GridTreeTest, LeafAtFindsCell) {
+  GridTree tree = BuildSmall();
+  auto id = tree.LeafAt(Point{3, 2});
+  const auto& leaf = tree.GetNode(id);
+  EXPECT_TRUE(leaf.is_leaf);
+  EXPECT_FALSE(leaf.is_pseudo);
+  EXPECT_EQ(leaf.record.value, "b");
+  const auto& empty = tree.GetNode(tree.LeafAt(Point{2, 2}));
+  EXPECT_TRUE(empty.is_pseudo);
+  EXPECT_EQ(empty.record.policy.ToString(), kPseudoRole);
+}
+
+TEST_F(GridTreeTest, InternalPolicyIsOrOfChildren) {
+  GridTree tree = BuildSmall();
+  const auto& root = tree.GetNode(tree.Root());
+  // Root must be satisfiable by any role that reaches some record and by no
+  // empty role set.
+  EXPECT_TRUE(root.policy.Evaluate({"RoleA"}));
+  EXPECT_TRUE(root.policy.Evaluate({"RoleB"}));
+  EXPECT_FALSE(root.policy.Evaluate({}));
+}
+
+TEST_F(GridTreeTest, RejectsDuplicateKeys) {
+  Domain domain{1, 2};
+  std::vector<Record> dup = {
+      Record{Point{1}, "x", Policy::Parse("RoleA")},
+      Record{Point{1}, "y", Policy::Parse("RoleB")},
+  };
+  EXPECT_THROW(GridTree::Build(mvk_, sk_, domain, dup, rng_.get()),
+               std::invalid_argument);
+}
+
+TEST_F(GridTreeTest, RejectsOutOfDomainKeys) {
+  Domain domain{1, 2};
+  std::vector<Record> bad = {Record{Point{7}, "x", Policy::Parse("RoleA")}};
+  EXPECT_THROW(GridTree::Build(mvk_, sk_, domain, bad, rng_.get()),
+               std::invalid_argument);
+  std::vector<Record> wrong_dims = {
+      Record{Point{1, 1}, "x", Policy::Parse("RoleA")}};
+  EXPECT_THROW(GridTree::Build(mvk_, sk_, domain, wrong_dims, rng_.get()),
+               std::invalid_argument);
+}
+
+TEST_F(GridTreeTest, SerializationRoundTripServesQueries) {
+  GridTree tree = BuildSmall();
+  common::ByteWriter w;
+  tree.Serialize(&w);
+  common::ByteReader r(w.data());
+  auto back = GridTree::Deserialize(&r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back->NodeCount(), tree.NodeCount());
+
+  // The deserialized ADS answers verifiable queries.
+  RoleSet roles = {"RoleA"};
+  Box range{Point{0, 0}, Point{3, 3}};
+  Rng qrng(5);
+  Vo vo = BuildRangeVo(*back, mvk_, range, roles, universe_, &qrng);
+  std::vector<Record> results;
+  std::string error;
+  ASSERT_TRUE(VerifyRangeVo(mvk_, back->domain(), range, roles, universe_, vo,
+                            &results, &error))
+      << error;
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].value, "a");
+}
+
+TEST_F(GridTreeTest, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {0xff, 0xff, 0xff, 0xff, 1, 2, 3};
+  common::ByteReader r(garbage);
+  EXPECT_FALSE(GridTree::Deserialize(&r).has_value());
+
+  GridTree tree = BuildSmall();
+  common::ByteWriter w;
+  tree.Serialize(&w);
+  auto bytes = w.data();
+  common::ByteReader r2(bytes.data(), bytes.size() / 2);
+  EXPECT_FALSE(GridTree::Deserialize(&r2).has_value());
+}
+
+}  // namespace
+}  // namespace apqa::core

@@ -1,0 +1,72 @@
+// Known-answer tests for SHA-256 (FIPS 180-4 vectors) and sanity tests for
+// the ChaCha20 RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/rng.h"
+#include "crypto/sha256.h"
+
+namespace apqa::crypto {
+namespace {
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(317, 'x');
+  for (std::size_t split = 0; split <= msg.size(); split += 63) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg));
+  }
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, FrInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Fr f = rng.NextFr();
+    Limbs<4> c = f.ToCanonical();
+    EXPECT_LT(CompareLimbs<4>(c, FrTag::kModulus), 0);
+  }
+}
+
+TEST(RngTest, NoObviousRepeats) {
+  Rng rng(10);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(rng.NextU64()).second);
+  }
+}
+
+TEST(RngTest, NonZeroFrIsNonZero) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextNonZeroFr().IsZero());
+  }
+}
+
+}  // namespace
+}  // namespace apqa::crypto

@@ -1,0 +1,124 @@
+// Bilinearity and non-degeneracy tests for the BLS12-381 ate pairing.
+#include <gtest/gtest.h>
+
+#include "crypto/pairing.h"
+#include "crypto/rng.h"
+
+namespace apqa::crypto {
+namespace {
+
+TEST(PairingTest, NonDegenerate) {
+  GT e = Pairing(G1Generator(), G2Generator());
+  EXPECT_FALSE(e.IsOne());
+  EXPECT_FALSE(e.IsZero());
+}
+
+TEST(PairingTest, Bilinearity) {
+  Rng rng(100);
+  Fr a = rng.NextNonZeroFr();
+  Fr b = rng.NextNonZeroFr();
+  GT base = Pairing(G1Generator(), G2Generator());
+  // e(g^a, h^b) == e(g,h)^(ab)
+  GT lhs = Pairing(G1Mul(a), G2Mul(b));
+  Limbs<4> ab = (a * b).ToCanonical();
+  GT rhs = base.Pow(std::span<const u64>(ab.data(), 4));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(PairingTest, LinearInFirstArgument) {
+  Rng rng(101);
+  Fr a = rng.NextNonZeroFr(), b = rng.NextNonZeroFr();
+  // e(g^a * g^b, h) == e(g^a, h) * e(g^b, h)
+  GT lhs = Pairing(G1Mul(a) + G1Mul(b), G2Generator());
+  GT rhs = Pairing(G1Mul(a), G2Generator()) * Pairing(G1Mul(b), G2Generator());
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(PairingTest, LinearInSecondArgument) {
+  Rng rng(102);
+  Fr a = rng.NextNonZeroFr(), b = rng.NextNonZeroFr();
+  GT lhs = Pairing(G1Generator(), G2Mul(a) + G2Mul(b));
+  GT rhs = Pairing(G1Generator(), G2Mul(a)) * Pairing(G1Generator(), G2Mul(b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(PairingTest, InfinityMapsToOne) {
+  EXPECT_TRUE(Pairing(G1::Infinity(), G2Generator()).IsOne());
+  EXPECT_TRUE(Pairing(G1Generator(), G2::Infinity()).IsOne());
+}
+
+TEST(PairingTest, MultiPairingMatchesProduct) {
+  Rng rng(103);
+  std::vector<std::pair<G1, G2>> pairs;
+  GT expect = GT::One();
+  for (int i = 0; i < 3; ++i) {
+    G1 p = G1Mul(rng.NextNonZeroFr());
+    G2 q = G2Mul(rng.NextNonZeroFr());
+    pairs.emplace_back(p, q);
+    expect = expect * Pairing(p, q);
+  }
+  EXPECT_EQ(MultiPairing(pairs), expect);
+}
+
+TEST(PairingTest, PairingProductCancellation) {
+  // e(g^a, h) * e(g^-a, h) == 1 — the pattern used throughout ABS.Verify.
+  Rng rng(104);
+  Fr a = rng.NextNonZeroFr();
+  std::vector<std::pair<G1, G2>> pairs = {
+      {G1Mul(a), G2Generator()},
+      {-G1Mul(a), G2Generator()},
+  };
+  EXPECT_TRUE(MultiPairing(pairs).IsOne());
+}
+
+TEST(PairingTest, CyclotomicSquareMatchesGenericSquare) {
+  // Granger-Scott squaring is only valid in the cyclotomic subgroup; every
+  // pairing output lives there.
+  Rng rng(105);
+  GT f = Pairing(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  GT by_cyc = f.CyclotomicSquare();
+  GT by_generic = f.Square();
+  EXPECT_EQ(by_cyc, by_generic);
+  // Iterate a few times to catch drift.
+  for (int i = 0; i < 5; ++i) {
+    f = f.CyclotomicSquare();
+  }
+  GT g = Pairing(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  (void)g;
+}
+
+TEST(PairingTest, PowCyclotomicMatchesPow) {
+  Rng rng(106);
+  GT f = Pairing(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  Limbs<4> e = rng.NextFr().ToCanonical();
+  std::span<const u64> es(e.data(), 4);
+  EXPECT_EQ(f.PowCyclotomic(es), f.Pow(es));
+  u64 small[1] = {1};
+  EXPECT_EQ(f.PowCyclotomic(std::span<const u64>(small, 1)), f);
+  u64 zero[1] = {0};
+  EXPECT_TRUE(f.PowCyclotomic(std::span<const u64>(zero, 1)).IsOne());
+}
+
+TEST(PairingTest, TwistedMillerLoopMatchesGeneric) {
+  // The production Miller loop works on the twist with sparse Fp2 lines
+  // (each line carries an extra w^3 in Fp4, killed by the final
+  // exponentiation); the generic loop over E(Fp12) is the reference.
+  Rng rng(107);
+  for (int i = 0; i < 3; ++i) {
+    G1 p = G1Mul(rng.NextNonZeroFr());
+    G2 q = G2Mul(rng.NextNonZeroFr());
+    EXPECT_EQ(FinalExponentiation(MillerLoop(p, q)),
+              FinalExponentiation(MillerLoopGeneric(p, q)));
+  }
+  EXPECT_TRUE(MillerLoopGeneric(G1::Infinity(), G2Generator()).IsOne());
+}
+
+TEST(PairingTest, GTElementHasOrderR) {
+  // e(g,h)^r == 1.
+  GT e = Pairing(G1Generator(), G2Generator());
+  Limbs<4> r = FrTag::kModulus;
+  EXPECT_TRUE(e.Pow(std::span<const u64>(r.data(), 4)).IsOne());
+}
+
+}  // namespace
+}  // namespace apqa::crypto

@@ -1,0 +1,260 @@
+// Tests for monotone policies, DNF normalization, and the monotone span
+// program construction (Algorithms 5/6), including the Purge invariant that
+// underpins ABS.Relax.
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "policy/msp.h"
+#include "policy/policy.h"
+
+namespace apqa::policy {
+namespace {
+
+using crypto::Rng;
+
+TEST(PolicyTest, ParseAndPrintRoundTrip) {
+  Policy p = Policy::Parse("(RoleA & RoleB) | RoleC");
+  EXPECT_EQ(p.ToString(), "((RoleA & RoleB) | RoleC)");
+  EXPECT_EQ(Policy::Parse(p.ToString()).ToString(), p.ToString());
+  EXPECT_EQ(Policy::Parse("A").ToString(), "A");
+  EXPECT_EQ(Policy::Parse("A & B & C").ToString(), "(A & B & C)");
+  EXPECT_EQ(Policy::Parse("  A |(B& C)").ToString(), "(A | (B & C))");
+}
+
+TEST(PolicyTest, ParseErrors) {
+  EXPECT_THROW(Policy::Parse(""), std::invalid_argument);
+  EXPECT_THROW(Policy::Parse("A &"), std::invalid_argument);
+  EXPECT_THROW(Policy::Parse("(A | B"), std::invalid_argument);
+  EXPECT_THROW(Policy::Parse("A B"), std::invalid_argument);
+  EXPECT_THROW(Policy::Parse("&A"), std::invalid_argument);
+}
+
+TEST(PolicyTest, Evaluate) {
+  Policy p = Policy::Parse("(RoleA & RoleC) | RoleB");
+  EXPECT_FALSE(p.Evaluate({"RoleA"}));
+  EXPECT_TRUE(p.Evaluate({"RoleB", "RoleC"}));
+  EXPECT_TRUE(p.Evaluate({"RoleA", "RoleC"}));
+  EXPECT_FALSE(p.Evaluate({}));
+  EXPECT_TRUE(p.Evaluate({"RoleA", "RoleB", "RoleC"}));
+}
+
+TEST(PolicyTest, Monotonicity) {
+  // Adding roles never flips a policy from 1 to 0.
+  Rng rng(1);
+  std::vector<std::string> universe = {"A", "B", "C", "D", "E"};
+  Policy p = Policy::Parse("(A & B) | (C & D & E) | (A & E)");
+  for (int iter = 0; iter < 100; ++iter) {
+    RoleSet small, big;
+    for (const auto& r : universe) {
+      bool in_small = rng.NextU64() % 2 == 0;
+      bool in_big = in_small || rng.NextU64() % 2 == 0;
+      if (in_small) small.insert(r);
+      if (in_big) big.insert(r);
+    }
+    EXPECT_LE(p.Evaluate(small), p.Evaluate(big));
+  }
+}
+
+TEST(PolicyTest, DnfClausesAbsorption) {
+  Policy p = Policy::Parse("A | (A & B) | (C & D) | (C & D)");
+  auto clauses = p.DnfClauses();
+  // (A & B) absorbed by A; duplicate (C & D) deduplicated.
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(clauses[0], (Clause{"A"}));
+  EXPECT_EQ(clauses[1], (Clause{"C", "D"}));
+}
+
+TEST(PolicyTest, DnfEquivalence) {
+  // DNF normalization preserves semantics on the full role lattice.
+  Policy p = Policy::Parse("(A | B) & (C | (D & E)) & (A | E)");
+  Policy dnf = p.ToDnf();
+  std::vector<std::string> universe = {"A", "B", "C", "D", "E"};
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    RoleSet roles;
+    for (int i = 0; i < 5; ++i) {
+      if (mask & (1u << i)) roles.insert(universe[i]);
+    }
+    EXPECT_EQ(p.Evaluate(roles), dnf.Evaluate(roles)) << "mask=" << mask;
+  }
+}
+
+TEST(PolicyTest, OrCombineDnf) {
+  Policy a = Policy::Parse("A & B");
+  Policy b = Policy::Parse("A | C");
+  Policy c = OrCombineDnf(a, b);
+  // (A&B) absorbed by A.
+  EXPECT_EQ(c.ToString(), "(A | C)");
+}
+
+TEST(PolicyTest, LengthAndRoles) {
+  Policy p = Policy::Parse("(A & B) | (A & C & D)");
+  EXPECT_EQ(p.Length(), 5u);
+  EXPECT_EQ(p.Roles(), (RoleSet{"A", "B", "C", "D"}));
+}
+
+// ---------------------------------------------------------------------------
+// Monotone span programs.
+
+// Checks the defining MSP property on every subset of the policy's roles:
+// rows labeled by satisfied attributes span e1 iff the policy evaluates true.
+// Uses the 0/1 satisfying vector produced by SatisfyingVector as the witness
+// and brute-force row reduction for the negative direction.
+void CheckMspAgainstPolicy(const Policy& p) {
+  Msp msp = BuildMsp(p);
+  RoleSet role_set = p.Roles();
+  std::vector<std::string> universe(role_set.begin(), role_set.end());
+  ASSERT_LE(universe.size(), 16u);
+  for (unsigned mask = 0; mask < (1u << universe.size()); ++mask) {
+    RoleSet roles;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      if (mask & (1u << i)) roles.insert(universe[i]);
+    }
+    auto v = SatisfyingVector(p, roles);
+    EXPECT_EQ(v.has_value(), p.Evaluate(roles));
+    if (v.has_value()) {
+      ASSERT_EQ(v->size(), msp.Rows());
+      // v * M == e1, support only on satisfied rows.
+      for (std::size_t j = 0; j < msp.Cols(); ++j) {
+        int sum = 0;
+        for (std::size_t i = 0; i < msp.Rows(); ++i) {
+          sum += static_cast<int>((*v)[i]) * msp.m[i][j];
+        }
+        EXPECT_EQ(sum, j == 0 ? 1 : 0) << p.ToString() << " col " << j;
+      }
+      for (std::size_t i = 0; i < msp.Rows(); ++i) {
+        if ((*v)[i] != 0) EXPECT_TRUE(roles.count(msp.row_labels[i]));
+      }
+    }
+  }
+}
+
+TEST(MspTest, DefiningPropertyOnFixedPolicies) {
+  for (const char* text : {
+           "A",
+           "A & B",
+           "A | B",
+           "(A & B) | C",
+           "(A & B) | (C & D)",
+           "A & (B | C)",
+           "A & (B | (C & D)) & (E | F)",
+           "((A | B) & (C | D)) | (E & F & G)",
+           "(A & B & C) | (A & D) | (B & D)",
+       }) {
+    SCOPED_TRACE(text);
+    CheckMspAgainstPolicy(Policy::Parse(text));
+  }
+}
+
+Policy RandomPolicy(Rng* rng, const std::vector<std::string>& universe,
+                    int depth) {
+  if (depth == 0 || rng->NextU64() % 3 == 0) {
+    return Policy::Var(universe[rng->NextU64() % universe.size()]);
+  }
+  std::size_t n = 2 + rng->NextU64() % 2;
+  std::vector<Policy> children;
+  for (std::size_t i = 0; i < n; ++i) {
+    children.push_back(RandomPolicy(rng, universe, depth - 1));
+  }
+  return rng->NextU64() % 2 == 0 ? Policy::And(std::move(children))
+                                 : Policy::Or(std::move(children));
+}
+
+TEST(MspTest, DefiningPropertyOnRandomPolicies) {
+  Rng rng(99);
+  std::vector<std::string> universe = {"A", "B", "C", "D", "E", "F"};
+  for (int iter = 0; iter < 30; ++iter) {
+    Policy p = RandomPolicy(&rng, universe, 3);
+    SCOPED_TRACE(p.ToString());
+    CheckMspAgainstPolicy(p);
+  }
+}
+
+TEST(MspTest, EntriesAreTernary) {
+  Rng rng(98);
+  std::vector<std::string> universe = {"A", "B", "C", "D"};
+  for (int iter = 0; iter < 20; ++iter) {
+    Msp msp = BuildMsp(RandomPolicy(&rng, universe, 3));
+    for (const auto& row : msp.m) {
+      for (auto e : row) {
+        EXPECT_TRUE(e == -1 || e == 0 || e == 1);
+      }
+    }
+  }
+}
+
+// The Purge invariant: with x = indicator(kept_cols), M x = indicator(
+// kept_rows), kept row labels lie in `keep`, and ok iff policy(U \ keep)=0.
+void CheckPurge(const Policy& p, const RoleSet& universe) {
+  Msp msp = BuildMsp(p);
+  std::vector<std::string> uni(universe.begin(), universe.end());
+  ASSERT_LE(uni.size(), 12u);
+  for (unsigned mask = 0; mask < (1u << uni.size()); ++mask) {
+    RoleSet keep;
+    for (std::size_t i = 0; i < uni.size(); ++i) {
+      if (mask & (1u << i)) keep.insert(uni[i]);
+    }
+    RoleSet complement;
+    for (const auto& r : universe) {
+      if (!keep.count(r)) complement.insert(r);
+    }
+    PurgeResult purge = Purge(p, keep);
+    EXPECT_EQ(purge.ok, !p.Evaluate(complement))
+        << p.ToString() << " keep mask=" << mask;
+    if (!purge.ok) continue;
+    std::vector<int> x(msp.Cols(), 0);
+    for (std::size_t j : purge.kept_cols) {
+      ASSERT_LT(j, msp.Cols());
+      x[j] = 1;
+    }
+    EXPECT_EQ(x[0], 1);
+    std::vector<int> want(msp.Rows(), 0);
+    for (std::size_t i : purge.kept_rows) {
+      ASSERT_LT(i, msp.Rows());
+      want[i] = 1;
+      EXPECT_TRUE(keep.count(msp.row_labels[i]));
+    }
+    for (std::size_t i = 0; i < msp.Rows(); ++i) {
+      int sum = 0;
+      for (std::size_t j = 0; j < msp.Cols(); ++j) sum += msp.m[i][j] * x[j];
+      EXPECT_EQ(sum, want[i]) << p.ToString() << " row " << i;
+    }
+  }
+}
+
+TEST(MspTest, PurgeInvariantFixedPolicies) {
+  RoleSet universe = {"A", "B", "C", "D", "E"};
+  for (const char* text : {
+           "A & B",
+           "A | B",
+           "(A & B) | C",
+           "(A & B) | (C & D)",
+           "A & (B | C)",
+           "(A | B) & (C | D)",
+           "(A & B & C) | (D & E)",
+       }) {
+    SCOPED_TRACE(text);
+    CheckPurge(Policy::Parse(text), universe);
+  }
+}
+
+TEST(MspTest, PurgeInvariantRandomPolicies) {
+  Rng rng(97);
+  std::vector<std::string> universe = {"A", "B", "C", "D", "E"};
+  RoleSet uniset(universe.begin(), universe.end());
+  for (int iter = 0; iter < 25; ++iter) {
+    Policy p = RandomPolicy(&rng, universe, 3);
+    SCOPED_TRACE(p.ToString());
+    CheckPurge(p, uniset);
+  }
+}
+
+TEST(MspTest, PurgeFailsWhenStillSatisfiable) {
+  Policy p = Policy::Parse("(RoleA & RoleB) | RoleC");
+  // keep = {RoleC}: policy is satisfiable by {RoleA, RoleB} avoiding RoleC.
+  EXPECT_FALSE(Purge(p, {"RoleC"}).ok);
+  // keep = {RoleA, RoleC}: every satisfying set hits the kept roles.
+  EXPECT_TRUE(Purge(p, {"RoleA", "RoleC"}).ok);
+}
+
+}  // namespace
+}  // namespace apqa::policy

@@ -1,0 +1,58 @@
+// Tests for the §8.2 thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/thread_pool.h"
+
+namespace apqa::core {
+namespace {
+
+TEST(ThreadPoolTest, SynchronousFallback) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0);
+  int x = 0;
+  pool.Submit([&] { x = 42; });
+  pool.WaitAll();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitAllIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&] { count.fetch_add(1); });
+    pool.WaitAll();
+    EXPECT_EQ(count.load(), 10 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DestructionWithPendingWaiters) {
+  // Destroying a pool after WaitAll must join cleanly.
+  auto pool = std::make_unique<ThreadPool>(3);
+  std::atomic<int> count{0};
+  pool->ParallelFor(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+  pool.reset();
+}
+
+}  // namespace
+}  // namespace apqa::core

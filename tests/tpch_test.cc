@@ -1,0 +1,119 @@
+// Tests for the TPC-H-style workload substrate.
+#include <gtest/gtest.h>
+
+#include "tpch/tpch.h"
+
+namespace apqa::tpch {
+namespace {
+
+TEST(TpchGenTest, DeterministicAndScaled) {
+  TpchGen g1(0.1, 42), g2(0.1, 42), g3(0.3, 42);
+  auto r1 = g1.Lineitem();
+  auto r2 = g2.Lineitem();
+  auto r3 = g3.Lineitem();
+  EXPECT_EQ(r1.size(), 600u);
+  EXPECT_EQ(r3.size(), 1800u);
+  ASSERT_EQ(r1.size(), r2.size());
+  EXPECT_EQ(r1[0].orderkey, r2[0].orderkey);
+  EXPECT_EQ(r1[7].shipdate, r2[7].shipdate);
+}
+
+TEST(TpchGenTest, AttributeRanges) {
+  TpchGen gen(0.1, 7);
+  for (const auto& row : gen.Lineitem()) {
+    EXPECT_LT(row.shipdate, 2526u);
+    EXPECT_LT(row.discount, 11u);
+    EXPECT_GE(row.quantity, 1u);
+    EXPECT_LE(row.quantity, 50u);
+  }
+}
+
+TEST(TpchGenTest, OrdersHaveUniqueKeys) {
+  TpchGen gen(0.3, 5);
+  auto orders = gen.Orders();
+  std::set<std::uint64_t> keys;
+  for (const auto& o : orders) {
+    EXPECT_TRUE(keys.insert(o.orderkey).second);
+  }
+}
+
+TEST(DiscretizeTest, MapsIntoDomain) {
+  Domain domain{3, 4};
+  TpchGen gen(0.1, 11);
+  for (const auto& row : gen.Lineitem()) {
+    core::Point p = DiscretizeLineitem(row, domain);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_TRUE(domain.ContainsPoint(p));
+  }
+}
+
+TEST(LineitemRecordsTest, DistinctKeysSamePolicyPerKey) {
+  Domain domain{2, 4};
+  TpchGen gen(0.1, 13);
+  PolicyGen pgen(10, 10, 3, 2, 99);
+  auto records = LineitemRecords(gen.Lineitem(), domain, pgen.policies());
+  std::set<core::Point> keys;
+  for (const auto& r : records) {
+    EXPECT_TRUE(keys.insert(r.key).second);
+    EXPECT_TRUE(domain.ContainsPoint(r.key));
+  }
+  EXPECT_GT(records.size(), 50u);
+}
+
+TEST(PolicyGenTest, RespectsShapeParameters) {
+  PolicyGen gen(10, 10, 3, 2, 7);
+  EXPECT_EQ(gen.policies().size(), 10u);
+  EXPECT_EQ(gen.universe().size(), 10u);
+  for (const auto& p : gen.policies()) {
+    auto clauses = p.DnfClauses();
+    EXPECT_LE(clauses.size(), 3u);
+    for (const auto& c : clauses) EXPECT_LE(c.size(), 2u);
+    // Max policy length 6 = 3 clauses x 2 roles.
+    EXPECT_LE(p.Length(), 6u);
+  }
+}
+
+TEST(PolicyGenTest, PoliciesAreDistinct) {
+  PolicyGen gen(20, 10, 3, 2, 8);
+  std::set<std::string> texts;
+  for (const auto& p : gen.policies()) {
+    EXPECT_TRUE(texts.insert(p.ToString()).second);
+  }
+}
+
+TEST(PolicyGenTest, AccessFractionRoughlyMet) {
+  PolicyGen gen(50, 10, 3, 2, 3);
+  auto roles = gen.RolesForAccessFraction(0.2);
+  std::size_t accessible = 0;
+  for (const auto& p : gen.policies()) {
+    accessible += p.Evaluate(roles) ? 1 : 0;
+  }
+  double f = static_cast<double>(accessible) / gen.policies().size();
+  EXPECT_GE(f, 0.2);
+  EXPECT_LE(f, 0.75);  // greedy overshoot is bounded
+}
+
+TEST(PolicyGenTest, PolicyForKeyDeterministic) {
+  PolicyGen gen(10, 10, 3, 2, 5);
+  core::Point key{3, 7};
+  EXPECT_EQ(gen.PolicyForKey(key).ToString(), gen.PolicyForKey(key).ToString());
+}
+
+TEST(RandomRangeQueryTest, SelectivityApproximate) {
+  Domain domain{2, 5};  // 32x32 = 1024 cells
+  crypto::Rng rng(4);
+  for (double sel : {0.01, 0.1, 0.5}) {
+    double total = 0;
+    for (int i = 0; i < 50; ++i) {
+      core::Box box = RandomRangeQuery(domain, sel, &rng);
+      EXPECT_TRUE(domain.FullBox().ContainsBox(box));
+      total += static_cast<double>(box.Volume()) / domain.CellCount();
+    }
+    double avg = total / 50;
+    EXPECT_GT(avg, sel / 4);
+    EXPECT_LT(avg, sel * 4 + 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace apqa::tpch
