@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abs_micro.dir/bench_abs_micro.cc.o"
+  "CMakeFiles/bench_abs_micro.dir/bench_abs_micro.cc.o.d"
+  "bench_abs_micro"
+  "bench_abs_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abs_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

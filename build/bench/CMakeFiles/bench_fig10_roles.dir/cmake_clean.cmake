@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_roles.dir/bench_fig10_roles.cc.o"
+  "CMakeFiles/bench_fig10_roles.dir/bench_fig10_roles.cc.o.d"
+  "bench_fig10_roles"
+  "bench_fig10_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_parallel.dir/bench_fig13_parallel.cc.o"
+  "CMakeFiles/bench_fig13_parallel.dir/bench_fig13_parallel.cc.o.d"
+  "bench_fig13_parallel"
+  "bench_fig13_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_kdtree.dir/bench_fig14_kdtree.cc.o"
+  "CMakeFiles/bench_fig14_kdtree.dir/bench_fig14_kdtree.cc.o.d"
+  "bench_fig14_kdtree"
+  "bench_fig14_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msp_micro.dir/bench_msp_micro.cc.o"
+  "CMakeFiles/bench_msp_micro.dir/bench_msp_micro.cc.o.d"
+  "bench_msp_micro"
+  "bench_msp_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msp_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pairing_micro.dir/bench_pairing_micro.cc.o"
+  "CMakeFiles/bench_pairing_micro.dir/bench_pairing_micro.cc.o.d"
+  "bench_pairing_micro"
+  "bench_pairing_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairing_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_equality.dir/bench_table2_equality.cc.o"
+  "CMakeFiles/bench_table2_equality.dir/bench_table2_equality.cc.o.d"
+  "bench_table2_equality"
+  "bench_table2_equality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

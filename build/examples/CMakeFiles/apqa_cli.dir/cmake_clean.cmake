@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apqa_cli.dir/apqa_cli.cpp.o"
+  "CMakeFiles/apqa_cli.dir/apqa_cli.cpp.o.d"
+  "apqa_cli"
+  "apqa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apqa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_market.dir/continuous_market.cpp.o"
+  "CMakeFiles/continuous_market.dir/continuous_market.cpp.o.d"
+  "continuous_market"
+  "continuous_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outsourced_tpch.dir/outsourced_tpch.cpp.o"
+  "CMakeFiles/outsourced_tpch.dir/outsourced_tpch.cpp.o.d"
+  "outsourced_tpch"
+  "outsourced_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outsourced_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abs/abs.cc" "src/CMakeFiles/apqa.dir/abs/abs.cc.o" "gcc" "src/CMakeFiles/apqa.dir/abs/abs.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/apqa.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/app_signature.cc" "src/CMakeFiles/apqa.dir/core/app_signature.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/app_signature.cc.o.d"
+  "/root/repo/src/core/continuous.cc" "src/CMakeFiles/apqa.dir/core/continuous.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/continuous.cc.o.d"
+  "/root/repo/src/core/duplicates.cc" "src/CMakeFiles/apqa.dir/core/duplicates.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/duplicates.cc.o.d"
+  "/root/repo/src/core/equality.cc" "src/CMakeFiles/apqa.dir/core/equality.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/equality.cc.o.d"
+  "/root/repo/src/core/grid_tree.cc" "src/CMakeFiles/apqa.dir/core/grid_tree.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/grid_tree.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/CMakeFiles/apqa.dir/core/hierarchy.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/hierarchy.cc.o.d"
+  "/root/repo/src/core/join_query.cc" "src/CMakeFiles/apqa.dir/core/join_query.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/join_query.cc.o.d"
+  "/root/repo/src/core/kd_tree.cc" "src/CMakeFiles/apqa.dir/core/kd_tree.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/kd_tree.cc.o.d"
+  "/root/repo/src/core/range_query.cc" "src/CMakeFiles/apqa.dir/core/range_query.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/range_query.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/apqa.dir/core/system.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/system.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/CMakeFiles/apqa.dir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/thread_pool.cc.o.d"
+  "/root/repo/src/core/vo.cc" "src/CMakeFiles/apqa.dir/core/vo.cc.o" "gcc" "src/CMakeFiles/apqa.dir/core/vo.cc.o.d"
+  "/root/repo/src/cpabe/cpabe.cc" "src/CMakeFiles/apqa.dir/cpabe/cpabe.cc.o" "gcc" "src/CMakeFiles/apqa.dir/cpabe/cpabe.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/apqa.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/bigint.cc" "src/CMakeFiles/apqa.dir/crypto/bigint.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/bigint.cc.o.d"
+  "/root/repo/src/crypto/curve.cc" "src/CMakeFiles/apqa.dir/crypto/curve.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/curve.cc.o.d"
+  "/root/repo/src/crypto/fp12.cc" "src/CMakeFiles/apqa.dir/crypto/fp12.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/fp12.cc.o.d"
+  "/root/repo/src/crypto/pairing.cc" "src/CMakeFiles/apqa.dir/crypto/pairing.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/pairing.cc.o.d"
+  "/root/repo/src/crypto/rng.cc" "src/CMakeFiles/apqa.dir/crypto/rng.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/rng.cc.o.d"
+  "/root/repo/src/crypto/serde.cc" "src/CMakeFiles/apqa.dir/crypto/serde.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/serde.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/apqa.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/apqa.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/apqa.dir/db/database.cc.o" "gcc" "src/CMakeFiles/apqa.dir/db/database.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/apqa.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/apqa.dir/db/schema.cc.o.d"
+  "/root/repo/src/policy/msp.cc" "src/CMakeFiles/apqa.dir/policy/msp.cc.o" "gcc" "src/CMakeFiles/apqa.dir/policy/msp.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/apqa.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/apqa.dir/policy/policy.cc.o.d"
+  "/root/repo/src/tpch/tpch.cc" "src/CMakeFiles/apqa.dir/tpch/tpch.cc.o" "gcc" "src/CMakeFiles/apqa.dir/tpch/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

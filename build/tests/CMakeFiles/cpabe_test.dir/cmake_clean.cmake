@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpabe_test.dir/cpabe_test.cc.o"
+  "CMakeFiles/cpabe_test.dir/cpabe_test.cc.o.d"
+  "cpabe_test"
+  "cpabe_test.pdb"
+  "cpabe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpabe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

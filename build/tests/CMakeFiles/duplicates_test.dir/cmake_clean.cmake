@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicates_test.dir/duplicates_test.cc.o"
+  "CMakeFiles/duplicates_test.dir/duplicates_test.cc.o.d"
+  "duplicates_test"
+  "duplicates_test.pdb"
+  "duplicates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

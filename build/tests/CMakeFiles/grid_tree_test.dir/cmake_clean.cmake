@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_tree_test.dir/grid_tree_test.cc.o"
+  "CMakeFiles/grid_tree_test.dir/grid_tree_test.cc.o.d"
+  "grid_tree_test"
+  "grid_tree_test.pdb"
+  "grid_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

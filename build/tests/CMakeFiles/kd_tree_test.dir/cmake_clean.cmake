@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_tree_test.dir/kd_tree_test.cc.o"
+  "CMakeFiles/kd_tree_test.dir/kd_tree_test.cc.o.d"
+  "kd_tree_test"
+  "kd_tree_test.pdb"
+  "kd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

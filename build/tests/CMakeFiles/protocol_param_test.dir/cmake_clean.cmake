@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_param_test.dir/protocol_param_test.cc.o"
+  "CMakeFiles/protocol_param_test.dir/protocol_param_test.cc.o.d"
+  "protocol_param_test"
+  "protocol_param_test.pdb"
+  "protocol_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/curve_test[1]_include.cmake")
+include("/root/repo/build/tests/pairing_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/abs_test[1]_include.cmake")
+include("/root/repo/build/tests/cpabe_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/kd_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/continuous_test[1]_include.cmake")
+include("/root/repo/build/tests/duplicates_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_param_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/serde_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
