@@ -1,0 +1,181 @@
+// Micro-benchmark (ablation): the scalar-multiplication engine vs. the
+// generic kernels it replaced.
+//
+//   fixed-base    — FixedBaseTable::Mul vs. a fresh width-4 wNAF ScalarMul
+//                   on the same generator (the seed behavior of G1Mul/G2Mul).
+//   msm           — Pippenger G1Msm/G2Msm vs. the naive ScalarMul-and-add
+//                   loop, n = 4..256.
+//   multipairing  — lockstep batched-inversion MultiPairing vs. the per-pair
+//                   reference (N Miller loops, one final exponentiation).
+//   abs           — end-to-end ABS sign/verify at a fixed predicate length.
+//
+// Every row is also emitted through the JSON trajectory sink (bench_util.h):
+//   APQA_BENCH_JSON=BENCH_msm.json ./bench_msm_micro   (or --json=PATH)
+#include <cinttypes>
+
+#include "abs/abs.h"
+#include "bench_util.h"
+#include "crypto/msm.h"
+
+namespace {
+
+using namespace apqa;
+using namespace apqa::crypto;
+using apqa::bench::RecordJson;
+using apqa::bench::Timer;
+
+constexpr const char* kBench = "msm_micro";
+
+// Keeps results alive without pulling in google-benchmark.
+template <typename T>
+void Sink(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+// Runs fn `iters` times and returns mean milliseconds per call.
+template <typename Fn>
+double TimeMs(int iters, Fn&& fn) {
+  Timer t;
+  for (int i = 0; i < iters; ++i) fn();
+  return t.ElapsedMs() / iters;
+}
+
+void Report(const char* row, double ms) {
+  std::printf("  %-28s %10.3f ms\n", row, ms);
+  RecordJson(kBench, row, ms);
+}
+
+void BenchFixedBase(Rng* rng, int iters) {
+  std::printf("fixed-base vs fresh-wNAF (generator, %d iters)\n", iters);
+  std::vector<Fr> ks(static_cast<std::size_t>(iters));
+  for (auto& k : ks) k = rng->NextNonZeroFr();
+  int i = 0;
+  const G1& g1 = G1Generator();
+  double wnaf1 = TimeMs(iters, [&] {
+    Sink(g1.ScalarMul(ks[static_cast<std::size_t>(i++ % iters)]));
+  });
+  Report("g1_wnaf", wnaf1);
+  i = 0;
+  const FixedBaseTable<Fp>& t1 = G1GeneratorTable();
+  double fixed1 = TimeMs(iters, [&] {
+    Sink(t1.Mul(ks[static_cast<std::size_t>(i++ % iters)]));
+  });
+  Report("g1_fixed_base", fixed1);
+  std::printf("  %-28s %10.2fx\n", "g1_speedup", wnaf1 / fixed1);
+  RecordJson(kBench, "g1_fixed_base_speedup", wnaf1 / fixed1);
+
+  i = 0;
+  const G2& g2 = G2Generator();
+  double wnaf2 = TimeMs(iters, [&] {
+    Sink(g2.ScalarMul(ks[static_cast<std::size_t>(i++ % iters)]));
+  });
+  Report("g2_wnaf", wnaf2);
+  i = 0;
+  const FixedBaseTable<Fp2>& t2 = G2GeneratorTable();
+  double fixed2 = TimeMs(iters, [&] {
+    Sink(t2.Mul(ks[static_cast<std::size_t>(i++ % iters)]));
+  });
+  Report("g2_fixed_base", fixed2);
+  std::printf("  %-28s %10.2fx\n", "g2_speedup", wnaf2 / fixed2);
+  RecordJson(kBench, "g2_fixed_base_speedup", wnaf2 / fixed2);
+}
+
+void BenchMsm(Rng* rng, bool fast) {
+  std::printf("Pippenger MSM vs naive sum\n");
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    if (fast && n > 64) break;
+    std::vector<G1> pts(n);
+    std::vector<Fr> ks(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      pts[j] = G1Mul(rng->NextNonZeroFr());
+      ks[j] = rng->NextNonZeroFr();
+    }
+    int iters = n <= 16 ? 20 : 5;
+    double naive = TimeMs(iters, [&] {
+      G1 acc = G1::Infinity();
+      for (std::size_t j = 0; j < n; ++j) acc = acc + pts[j].ScalarMul(ks[j]);
+      Sink(acc);
+    });
+    double pip = TimeMs(iters, [&] {
+      Sink(G1Msm(std::span<const G1>(pts),
+                              std::span<const Fr>(ks)));
+    });
+    char row[64];
+    std::snprintf(row, sizeof(row), "g1_msm_naive_n%zu", n);
+    Report(row, naive);
+    std::snprintf(row, sizeof(row), "g1_msm_pippenger_n%zu", n);
+    Report(row, pip);
+    std::printf("  %-28s %10.2fx\n", "speedup", naive / pip);
+  }
+}
+
+void BenchMultiPairing(Rng* rng, bool fast) {
+  std::printf("MultiPairing: lockstep batched inversion vs per-pair\n");
+  for (std::size_t n : {2u, 8u, 16u}) {
+    if (fast && n > 8) break;
+    std::vector<std::pair<G1, G2>> pairs;
+    for (std::size_t j = 0; j < n; ++j) {
+      pairs.emplace_back(G1Mul(rng->NextNonZeroFr()),
+                         G2Mul(rng->NextNonZeroFr()));
+    }
+    int iters = 5;
+    double per_pair = TimeMs(iters, [&] {
+      GT f = GT::One();
+      for (const auto& [p, q] : pairs) f = f * MillerLoop(p, q);
+      Sink(FinalExponentiation(f));
+    });
+    double batched = TimeMs(iters, [&] {
+      Sink(MultiPairing(pairs));
+    });
+    char row[64];
+    std::snprintf(row, sizeof(row), "multipairing_perpair_n%zu", n);
+    Report(row, per_pair);
+    std::snprintf(row, sizeof(row), "multipairing_batched_n%zu", n);
+    Report(row, batched);
+    std::printf("  %-28s %10.2fx\n", "speedup", per_pair / batched);
+  }
+}
+
+void BenchAbs(bool fast) {
+  std::printf("ABS end-to-end (predicate length 12)\n");
+  crypto::Rng rng(11);
+  abs::MasterKey msk;
+  abs::VerifyKey mvk;
+  abs::Abs::Setup(&rng, &msk, &mvk);
+  policy::RoleSet universe;
+  for (int i = 0; i < 16; ++i) universe.insert("Role" + std::to_string(i));
+  abs::SigningKey sk = abs::Abs::KeyGen(msk, universe, &rng);
+  std::vector<policy::Clause> clauses;
+  for (int i = 0; i + 1 < 12; i += 2) {
+    clauses.push_back({"Role" + std::to_string(i),
+                       "Role" + std::to_string(i + 1)});
+  }
+  policy::Policy pred = policy::Policy::FromDnfClauses(clauses);
+  std::vector<std::uint8_t> msg = {'m', 's', 'm'};
+
+  int iters = fast ? 2 : 5;
+  double sign_ms = TimeMs(iters, [&] {
+    Sink(*abs::Abs::Sign(mvk, sk, msg, pred, &rng));
+  });
+  Report("abs_sign_len12", sign_ms);
+  auto sig = abs::Abs::Sign(mvk, sk, msg, pred, &rng);
+  double verify_ms = TimeMs(iters, [&] {
+    Sink(abs::Abs::Verify(mvk, msg, pred, *sig));
+  });
+  Report("abs_verify_len12", verify_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apqa::bench::EnableJsonFromArgs(argc, argv);
+  apqa::bench::PrintHeader("MSM micro",
+                           "scalar-multiplication engine ablation");
+  bool fast = apqa::bench::FastMode();
+  Rng rng(20260807);
+  BenchFixedBase(&rng, fast ? 50 : 400);
+  BenchMsm(&rng, fast);
+  BenchMultiPairing(&rng, fast);
+  BenchAbs(fast);
+  return 0;
+}

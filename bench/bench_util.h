@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -21,6 +22,40 @@
 #include "tpch/tpch.h"
 
 namespace apqa::bench {
+
+// --- JSON perf-trajectory output -------------------------------------------
+//
+// When a path is configured (APQA_BENCH_JSON=path in the environment, or a
+// `--json=path` argument passed to EnableJsonFromArgs), every RecordJson call
+// appends one `{"bench":...,"row":...,"ms":...}` line to that file, so a
+// sequence of PRs can track absolute numbers in BENCH_*.json files without
+// scraping stdout.
+
+inline std::string& JsonPath() {
+  static std::string path = [] {
+    const char* env = std::getenv("APQA_BENCH_JSON");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return path;
+}
+
+// Scans argv for --json=PATH (removing nothing; benches ignore unknown args).
+inline void EnableJsonFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) JsonPath() = argv[i] + 7;
+  }
+}
+
+inline void RecordJson(const std::string& bench, const std::string& row,
+                       double ms) {
+  const std::string& path = JsonPath();
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\",\"row\":\"%s\",\"ms\":%.6f}\n",
+               bench.c_str(), row.c_str(), ms);
+  std::fclose(f);
+}
 
 class Timer {
  public:

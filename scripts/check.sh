@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local check: regular build + ctest, then a UBSan build of the crypto
+# stack (curve / msm / pairing / abs tests run directly; field arithmetic is
+# where unsigned-overflow-adjacent bugs would hide).
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZE=0
+[[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
+
+echo "=== build (Release) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "=== ctest ==="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$SKIP_SANITIZE" == 1 ]]; then
+  echo "=== sanitizer pass skipped ==="
+  exit 0
+fi
+
+echo "=== build (UBSan) ==="
+cmake -B build-ubsan -S . -DAPQA_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j --target \
+  curve_test msm_test pairing_test abs_test
+
+echo "=== crypto tests under UBSan ==="
+for t in curve_test msm_test pairing_test abs_test; do
+  echo "--- $t ---"
+  ./build-ubsan/tests/"$t" --gtest_brief=1
+done
+
+echo "=== all checks passed ==="

@@ -12,11 +12,14 @@
 #define APQA_ABS_ABS_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/serde.h"
+#include "crypto/msm.h"
 #include "crypto/pairing.h"
 #include "crypto/rng.h"
 #include "policy/msp.h"
@@ -40,8 +43,25 @@ struct VerifyKey {
   static VerifyKey Deserialize(common::ByteReader* r);
 
   // h^(a + b*u) for an attribute scalar u — the per-row base used by both
-  // signing and verification.
+  // signing and verification. Served from the precomputed B table plus a
+  // per-scalar memo (verification keys are long-lived and see the same
+  // role scalars over and over).
   G2 AttributeBase(const Fr& u) const;
+
+  // Fixed-base tables for the key components that every sign/relax/verify
+  // multiplies: G = g, C = c over G1 and A = h^a, B = h^b over G2 (the
+  // remaining components h0/h/a0 only ever appear as pairing inputs).
+  // Built lazily on first use and shared by copies taken afterwards.
+  struct Precomp {
+    crypto::FixedBaseTable<crypto::Fp> g_tab, c_tab;
+    crypto::FixedBaseTable<crypto::Fp2> a_tab, b_tab;
+    mutable std::mutex attr_mu;
+    mutable std::map<crypto::Limbs<4>, G2> attr_base;  // keyed by canonical u
+  };
+  const Precomp& precomp() const;
+
+ private:
+  mutable std::shared_ptr<const Precomp> precomp_;
 };
 
 // Master signing key msk = (a0, a, b).
@@ -54,6 +74,11 @@ struct SigningKey {
   G1 k_base;
   G1 k0;
   std::map<std::string, G1> k_attr;  // K_u = K_base^(1/(a+b*u)) by role name
+
+  // Fixed-base tables for K_base and K_0, built by KeyGen: a signing key
+  // typically signs an entire AP²G-tree, so both bases are multiplied once
+  // per record/node.
+  crypto::FixedBaseTable<crypto::Fp> k_base_tab, k0_tab;
 
   bool Covers(const RoleSet& roles) const;
 };

@@ -43,6 +43,8 @@ std::vector<std::uint8_t> BoxMessage(const Box& box) {
   return std::vector<std::uint8_t>(h.begin(), h.end());
 }
 
+void WarmSignatureEngine(const VerifyKey& mvk) { mvk.precomp(); }
+
 policy::RoleSet SuperPolicyRoles(const policy::RoleSet& universe,
                                  const policy::RoleSet& user_roles) {
   policy::RoleSet lacked;

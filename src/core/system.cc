@@ -39,6 +39,11 @@ GridTree DataOwner::BuildAds(const std::vector<Record>& records,
 
 ServiceProvider::ServiceProvider(SystemKeys keys, GridTree tree, int threads)
     : keys_(std::move(keys)), tree_(std::move(tree)), rng_(/*os seeded*/) {
+  // Build the scalar-multiplication tables up front (no-op when the keys
+  // came from a warm Setup in this process) so worker threads never race on
+  // the first relaxation.
+  WarmSignatureEngine(keys_.mvk);
+  keys_.cpk.precomp();
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
@@ -146,7 +151,9 @@ cpabe::Envelope ServiceProvider::SealedEqualityQuery(const Point& key,
 }
 
 User::User(SystemKeys keys, UserCredentials creds)
-    : keys_(std::move(keys)), creds_(std::move(creds)) {}
+    : keys_(std::move(keys)), creds_(std::move(creds)) {
+  WarmSignatureEngine(keys_.mvk);
+}
 
 bool User::VerifyEquality(const Point& key, const Vo& vo, Record* result,
                           bool* accessible, std::string* error) const {

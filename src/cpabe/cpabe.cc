@@ -11,12 +11,25 @@ using policy::BuildMsp;
 using policy::Msp;
 using policy::SatisfyingVector;
 
+const PublicKey::Precomp& PublicKey::precomp() const {
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lock(build_mu);
+  if (!precomp_) {
+    auto pc = std::make_shared<Precomp>();
+    pc->g1_tab = crypto::FixedBaseTable<crypto::Fp>(g1);
+    pc->g1a_tab = crypto::FixedBaseTable<crypto::Fp>(g1_a);
+    pc->g2_tab = crypto::FixedBaseTable<crypto::Fp2>(g2);
+    precomp_ = std::move(pc);
+  }
+  return *precomp_;
+}
+
 G1 PublicKey::HashG1(const std::string& attr) const {
-  return g1.ScalarMul(HashToFr("cpabe-attr:" + attr));
+  return precomp().g1_tab.Mul(HashToFr("cpabe-attr:" + attr));
 }
 
 G2 PublicKey::HashG2(const std::string& attr) const {
-  return g2.ScalarMul(HashToFr("cpabe-attr:" + attr));
+  return precomp().g2_tab.Mul(HashToFr("cpabe-attr:" + attr));
 }
 
 void CpAbe::Setup(Rng* rng, MasterKey* mk, PublicKey* pk) {
@@ -28,22 +41,26 @@ void CpAbe::Setup(Rng* rng, MasterKey* mk, PublicKey* pk) {
   crypto::Limbs<4> al = mk->alpha.ToCanonical();
   pk->egg_alpha = crypto::Pairing(pk->g1, pk->g2)
                       .Pow(std::span<const crypto::u64>(al.data(), 4));
+  pk->precomp();  // warm the fixed-base tables while setup owns the key
 }
 
 SecretKey CpAbe::KeyGen(const MasterKey& mk, const PublicKey& pk,
                         const RoleSet& attrs, Rng* rng) {
+  const PublicKey::Precomp& pc = pk.precomp();
   SecretKey sk;
   Fr t = rng->NextNonZeroFr();
-  sk.k = pk.g2.ScalarMul(mk.alpha + mk.a * t);
-  sk.l = pk.g2.ScalarMul(t);
+  sk.k = pc.g2_tab.Mul(mk.alpha + mk.a * t);
+  sk.l = pc.g2_tab.Mul(t);
   for (const auto& x : attrs) {
-    sk.k_attr[x] = pk.HashG2(x).ScalarMul(t);
+    // H2(x)^t = g2^{h_x t}: one fixed-base mul instead of two muls.
+    sk.k_attr[x] = pc.g2_tab.Mul(HashToFr("cpabe-attr:" + x) * t);
   }
   return sk;
 }
 
 Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
                           const Policy& policy, Rng* rng) {
+  const PublicKey::Precomp& pc = pk.precomp();
   Msp msp = BuildMsp(policy);
   std::size_t rows = msp.Rows(), cols = msp.Cols();
 
@@ -56,7 +73,7 @@ Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
 
   crypto::Limbs<4> sl = s.ToCanonical();
   ct.c_tilde = m * pk.egg_alpha.Pow(std::span<const crypto::u64>(sl.data(), 4));
-  ct.c_prime = pk.g1.ScalarMul(s);
+  ct.c_prime = pc.g1_tab.Mul(s);
 
   ct.c.resize(rows);
   ct.d.resize(rows);
@@ -70,8 +87,11 @@ Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
       }
     }
     Fr ri = rng->NextNonZeroFr();
-    ct.c[i] = pk.g1_a.ScalarMul(lambda) - pk.HashG1(msp.row_labels[i]).ScalarMul(ri);
-    ct.d[i] = pk.g1.ScalarMul(ri);
+    // g1^{a lambda_i} * H1(rho(i))^{-r_i} = g1a^{lambda_i} * g1^{-h r_i}:
+    // every factor is a fixed-base table mul.
+    Fr h = HashToFr("cpabe-attr:" + msp.row_labels[i]);
+    ct.c[i] = pc.g1a_tab.Mul(lambda) - pc.g1_tab.Mul(h * ri);
+    ct.d[i] = pc.g1_tab.Mul(ri);
   }
   return ct;
 }

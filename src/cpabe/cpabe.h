@@ -10,12 +10,15 @@
 #define APQA_CPABE_CPABE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/serde.h"
 #include "crypto/aes.h"
+#include "crypto/msm.h"
 #include "crypto/pairing.h"
 #include "crypto/rng.h"
 #include "policy/policy.h"
@@ -38,6 +41,17 @@ struct PublicKey {
 
   G1 HashG1(const std::string& attr) const;
   G2 HashG2(const std::string& attr) const;
+
+  // Fixed-base tables for the three group bases every KeyGen/Encrypt call
+  // multiplies; built lazily on first use (see abs::VerifyKey::precomp).
+  struct Precomp {
+    crypto::FixedBaseTable<crypto::Fp> g1_tab, g1a_tab;
+    crypto::FixedBaseTable<crypto::Fp2> g2_tab;
+  };
+  const Precomp& precomp() const;
+
+ private:
+  mutable std::shared_ptr<const Precomp> precomp_;
 };
 
 struct MasterKey {

@@ -1,5 +1,7 @@
 #include "crypto/curve.h"
 
+#include "crypto/msm.h"
+
 namespace apqa::crypto {
 
 namespace {
@@ -44,8 +46,8 @@ Fp G1CurveB() { return Fp::FromU64(4); }
 
 Fp2 G2CurveB() { return {Fp::FromU64(4), Fp::FromU64(4)}; }
 
-G1 G1Mul(const Fr& k) { return G1Generator().ScalarMul(k); }
+G1 G1Mul(const Fr& k) { return G1GeneratorTable().Mul(k); }
 
-G2 G2Mul(const Fr& k) { return G2Generator().ScalarMul(k); }
+G2 G2Mul(const Fr& k) { return G2GeneratorTable().Mul(k); }
 
 }  // namespace apqa::crypto

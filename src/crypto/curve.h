@@ -73,6 +73,33 @@ struct CurvePoint {
 
   CurvePoint operator-(const CurvePoint& o) const { return *this + (-o); }
 
+  // Mixed addition with an affine point (implicit Z2 = 1); madd-2007-bl.
+  // Saves 4 field multiplications over the general addition, which is what
+  // makes precomputed affine tables (msm.h) pay off.
+  CurvePoint AddMixed(const F& bx, const F& by) const {
+    if (IsInfinity()) return FromAffine(bx, by);
+    F z1z1 = z.Square();
+    F u2 = bx * z1z1;
+    F s2 = by * z * z1z1;
+    if (x == u2) {
+      if (y == s2) return Double();
+      return Infinity();
+    }
+    F h = u2 - x;
+    F hh = h.Square();
+    F i = hh + hh;
+    i = i + i;
+    F j = h * i;
+    F rr = s2 - y;
+    rr = rr + rr;
+    F v = x * i;
+    F x3 = rr.Square() - j - (v + v);
+    F yj = y * j;
+    F y3 = rr * (v - x3) - (yj + yj);
+    F z3 = (z + h).Square() - z1z1 - hh;
+    return {x3, y3, z3};
+  }
+
   // Scalar multiplication by a canonical Fr scalar. Uses a width-4 wNAF
   // (≈25% fewer additions than double-and-add). Not constant time; this
   // library models a data-management protocol, not a side-channel-hardened
@@ -181,7 +208,8 @@ const G2& G2Generator();
 Fp G1CurveB();    // 4
 Fp2 G2CurveB();   // 4 * (1 + i)
 
-// g^k for the standard generators.
+// g^k for the standard generators, via fixed-base tables (msm.h) built on
+// first use.
 G1 G1Mul(const Fr& k);
 G2 G2Mul(const Fr& k);
 

@@ -1,0 +1,23 @@
+#include "crypto/msm.h"
+
+namespace apqa::crypto {
+
+G1 G1Msm(std::span<const G1> pts, std::span<const Fr> scalars) {
+  return Msm<Fp>(pts, scalars);
+}
+
+G2 G2Msm(std::span<const G2> pts, std::span<const Fr> scalars) {
+  return Msm<Fp2>(pts, scalars);
+}
+
+const FixedBaseTable<Fp>& G1GeneratorTable() {
+  static const FixedBaseTable<Fp> t(G1Generator());
+  return t;
+}
+
+const FixedBaseTable<Fp2>& G2GeneratorTable() {
+  static const FixedBaseTable<Fp2> t(G2Generator());
+  return t;
+}
+
+}  // namespace apqa::crypto

@@ -1,0 +1,221 @@
+// Scalar-multiplication engine: batched inversion, batch affine
+// normalization, fixed-base windowed tables, and Pippenger multi-scalar
+// multiplication. Everything APQA does — ABS sign/relax/verify, AP²G-tree
+// signing, CP-ABE sealing — bottoms out in these kernels.
+//
+//   BatchInverse    — Montgomery's trick: n inversions for the price of one
+//                     plus 3(n-1) multiplications. Zero entries stay zero
+//                     (mirroring PrimeField::Inverse).
+//   BatchToAffine   — normalizes many Jacobian points with one inversion.
+//   FixedBaseTable  — radix-16 windowed table for a long-lived base: one
+//                     mixed addition per 4 scalar bits, no doublings.
+//   Msm / G1Msm / G2Msm — Pippenger's bucket method with a naive fallback
+//                     below a size cutoff.
+//
+// Like the rest of the curve layer this is not constant time; the library
+// models a data-management protocol, not a hardened signer.
+#ifndef APQA_CRYPTO_MSM_H_
+#define APQA_CRYPTO_MSM_H_
+
+#include <span>
+#include <vector>
+
+#include "crypto/curve.h"
+
+namespace apqa::crypto {
+
+// In-place batched inversion (Montgomery's trick). Zero entries are skipped
+// and remain zero.
+template <typename F>
+void BatchInverse(F* xs, std::size_t n) {
+  if (n == 0) return;
+  std::vector<F> prefix(n);
+  F acc = F::One();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i].IsZero()) continue;
+    prefix[i] = acc;
+    acc = acc * xs[i];
+  }
+  F inv = acc.Inverse();
+  for (std::size_t i = n; i-- > 0;) {
+    if (xs[i].IsZero()) continue;
+    F saved = xs[i];
+    xs[i] = inv * prefix[i];
+    inv = inv * saved;
+  }
+}
+
+// Normalizes every point to Z = 1 (affine) in place, sharing a single field
+// inversion across the whole span. Points at infinity are left untouched.
+template <typename F>
+void BatchToAffine(std::span<CurvePoint<F>> pts) {
+  std::vector<F> zs(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) zs[i] = pts[i].z;
+  BatchInverse(zs.data(), zs.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].IsInfinity()) continue;
+    F zi2 = zs[i].Square();
+    pts[i].x = pts[i].x * zi2;
+    pts[i].y = pts[i].y * zi2 * zs[i];
+    pts[i].z = F::One();
+  }
+}
+
+// Fixed-base precomputation for a long-lived base point (a generator, an ABS
+// verification-key component, a signing-key base). Stores the odd and even
+// multiples d * 16^w * P (d = 1..15) for each of the 64 radix-16 windows of
+// an Fr scalar, normalized to affine with one shared inversion. A multiply
+// is then at most 64 mixed additions — no doublings, no per-call table
+// build. ~450 KB for G2, half that for G1; worth it only for bases that are
+// multiplied many times.
+template <typename F>
+class FixedBaseTable {
+ public:
+  static constexpr std::size_t kWindowBits = 4;
+  static constexpr std::size_t kWindows = 64;   // ceil(256 / 4)
+  static constexpr std::size_t kEntries = 15;   // digits 1..15
+
+  FixedBaseTable() = default;
+
+  explicit FixedBaseTable(const CurvePoint<F>& base) {
+    if (base.IsInfinity()) {
+      infinity_base_ = true;
+      return;
+    }
+    std::vector<CurvePoint<F>> pts(kWindows * kEntries);
+    CurvePoint<F> window_base = base;  // 16^w * P
+    for (std::size_t w = 0; w < kWindows; ++w) {
+      CurvePoint<F> acc = CurvePoint<F>::Infinity();
+      for (std::size_t d = 1; d <= kEntries; ++d) {
+        acc = acc + window_base;
+        pts[w * kEntries + (d - 1)] = acc;
+      }
+      window_base = acc + window_base;  // 16 * (16^w * P)
+    }
+    // For a base in the prime-order subgroup no entry can be infinity
+    // (d * 16^w is never divisible by r), so affine coordinates are total.
+    BatchToAffine<F>(pts);
+    ax_.resize(pts.size());
+    ay_.resize(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ax_[i] = pts[i].x;
+      ay_[i] = pts[i].y;
+    }
+  }
+
+  bool Initialized() const { return infinity_base_ || !ax_.empty(); }
+
+  CurvePoint<F> Mul(const Fr& k) const {
+    if (infinity_base_) return CurvePoint<F>::Infinity();
+    Limbs<4> e = k.ToCanonical();
+    CurvePoint<F> acc = CurvePoint<F>::Infinity();
+    for (std::size_t w = 0; w < kWindows; ++w) {
+      unsigned d =
+          static_cast<unsigned>(e[w / 16] >> (kWindowBits * (w % 16))) & 15u;
+      if (d == 0) continue;
+      std::size_t idx = w * kEntries + (d - 1);
+      acc = acc.AddMixed(ax_[idx], ay_[idx]);
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<F> ax_, ay_;
+  bool infinity_base_ = false;
+};
+
+namespace msm_internal {
+
+// Reads `bits` bits of the canonical scalar starting at bit `pos`.
+inline unsigned ExtractWindow(const Limbs<4>& e, std::size_t pos,
+                              unsigned bits) {
+  std::size_t limb = pos / 64, off = pos % 64;
+  u64 v = e[limb] >> off;
+  if (off + bits > 64 && limb + 1 < 4) v |= e[limb + 1] << (64 - off);
+  return static_cast<unsigned>(v & ((u64{1} << bits) - 1));
+}
+
+// Pippenger window width: roughly log2(n) - 1, clamped to practical sizes.
+inline unsigned PippengerWindow(std::size_t n) {
+  if (n < 32) return 4;
+  if (n < 128) return 6;
+  if (n < 512) return 8;
+  if (n < 2048) return 10;
+  return 12;
+}
+
+}  // namespace msm_internal
+
+// Multi-scalar multiplication: sum_i scalars[i] * pts[i]. Sizes must match.
+// Below `kMsmNaiveCutoff` terms the plain per-term wNAF loop wins; above it
+// Pippenger's bucket method is used (points batch-normalized to affine so
+// bucket accumulation runs on mixed additions).
+inline constexpr std::size_t kMsmNaiveCutoff = 8;
+
+template <typename F>
+CurvePoint<F> Msm(std::span<const CurvePoint<F>> pts,
+                  std::span<const Fr> scalars) {
+  std::size_t n = pts.size() < scalars.size() ? pts.size() : scalars.size();
+
+  // Drop degenerate terms once, up front.
+  std::vector<CurvePoint<F>> ps;
+  std::vector<Limbs<4>> es;
+  ps.reserve(n);
+  es.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pts[i].IsInfinity()) continue;
+    Limbs<4> e = scalars[i].ToCanonical();
+    if (IsZeroLimbs<4>(e)) continue;
+    ps.push_back(pts[i]);
+    es.push_back(e);
+  }
+  if (ps.empty()) return CurvePoint<F>::Infinity();
+
+  if (ps.size() < kMsmNaiveCutoff) {
+    CurvePoint<F> acc = CurvePoint<F>::Infinity();
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      acc = acc + ps[i].ScalarMul(Fr::FromCanonical(es[i]));
+    }
+    return acc;
+  }
+
+  BatchToAffine<F>(std::span<CurvePoint<F>>(ps));
+
+  const unsigned c = msm_internal::PippengerWindow(ps.size());
+  const std::size_t scalar_bits = 255;
+  const std::size_t windows = (scalar_bits + c - 1) / c;
+  std::vector<CurvePoint<F>> buckets((std::size_t{1} << c) - 1);
+
+  CurvePoint<F> result = CurvePoint<F>::Infinity();
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (unsigned b = 0; b < c; ++b) result = result.Double();
+    }
+    for (auto& b : buckets) b = CurvePoint<F>::Infinity();
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      unsigned d = msm_internal::ExtractWindow(es[i], w * c, c);
+      if (d != 0) buckets[d - 1] = buckets[d - 1].AddMixed(ps[i].x, ps[i].y);
+    }
+    // Suffix sums: sum_d d * bucket[d] via two running additions.
+    CurvePoint<F> running = CurvePoint<F>::Infinity();
+    CurvePoint<F> window_sum = CurvePoint<F>::Infinity();
+    for (std::size_t b = buckets.size(); b-- > 0;) {
+      running = running + buckets[b];
+      window_sum = window_sum + running;
+    }
+    result = result + window_sum;
+  }
+  return result;
+}
+
+G1 G1Msm(std::span<const G1> pts, std::span<const Fr> scalars);
+G2 G2Msm(std::span<const G2> pts, std::span<const Fr> scalars);
+
+// Fixed-base tables for the standard G1/G2 generators (built on first use;
+// G1Mul/G2Mul in curve.cc route through these).
+const FixedBaseTable<Fp>& G1GeneratorTable();
+const FixedBaseTable<Fp2>& G2GeneratorTable();
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_MSM_H_

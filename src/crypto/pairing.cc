@@ -1,6 +1,7 @@
 #include "crypto/pairing.h"
 
 #include "crypto/bigint.h"
+#include "crypto/msm.h"
 
 namespace apqa::crypto {
 
@@ -182,11 +183,71 @@ GT Pairing(const G1& p, const G2& q) {
 }
 
 GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs) {
-  GT f = GT::One();
+  // Run all Miller loops in lockstep: every pair follows the same
+  // doubling/addition schedule (the bits of |u|), so the per-step affine
+  // slope denominators — 2*y_T on a doubling, x_Q - x_T on an addition —
+  // can be merged into a single Fp2 inversion via Montgomery's trick.
+  // Inputs are batch-normalized to affine the same way (one Fp inversion
+  // for the G1 side, one Fp2 inversion for the G2 side).
+  std::vector<G1> ps;
+  std::vector<G2> qs;
+  ps.reserve(pairs.size());
+  qs.reserve(pairs.size());
   for (const auto& [p, q] : pairs) {
-    f = f * MillerLoop(p, q);
+    if (p.IsInfinity() || q.IsInfinity()) continue;  // e(P, O) = e(O, Q) = 1
+    ps.push_back(p);
+    qs.push_back(q);
   }
-  return FinalExponentiation(f);
+  const std::size_t n = ps.size();
+  if (n == 0) return GT::One();
+  BatchToAffine<Fp>(std::span<G1>(ps));
+  BatchToAffine<Fp2>(std::span<G2>(qs));
+
+  std::vector<Fp> neg_xp(n), yp(n);
+  std::vector<Fp2> xq(n), yq(n), xt(n), yt(n), den(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    neg_xp[k] = -ps[k].x;
+    yp[k] = ps[k].y;
+    xq[k] = qs[k].x;
+    yq[k] = qs[k].y;
+    xt[k] = xq[k];
+    yt[k] = yq[k];
+  }
+
+  Fp12 f = Fp12::One();
+  int msb = 63;
+  while (!((kBlsParamAbs >> msb) & 1)) --msb;
+  for (int i = msb - 1; i >= 0; --i) {
+    f = f.Square();
+    // Doubling step for every running point T.
+    for (std::size_t k = 0; k < n; ++k) den[k] = yt[k] + yt[k];
+    BatchInverse(den.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      Fp2 xt2 = xt[k].Square();
+      Fp2 lambda = (xt2 + xt2 + xt2) * den[k];
+      f = f * AssembleLine(lambda * xt[k] - yt[k], lambda.MulByFp(neg_xp[k]),
+                           yp[k]);
+      Fp2 x3 = lambda.Square() - xt[k] - xt[k];
+      yt[k] = lambda * (xt[k] - x3) - yt[k];
+      xt[k] = x3;
+    }
+    if ((kBlsParamAbs >> i) & 1) {
+      // Addition step T += Q for every pair.
+      for (std::size_t k = 0; k < n; ++k) den[k] = xq[k] - xt[k];
+      BatchInverse(den.data(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        Fp2 lambda = (yq[k] - yt[k]) * den[k];
+        f = f * AssembleLine(lambda * xt[k] - yt[k], lambda.MulByFp(neg_xp[k]),
+                             yp[k]);
+        Fp2 x3 = lambda.Square() - xt[k] - xq[k];
+        yt[k] = lambda * (xt[k] - x3) - yt[k];
+        xt[k] = x3;
+      }
+    }
+  }
+  // u < 0: conjugate (the product of per-pair conjugates equals the
+  // conjugate of the lockstep product).
+  return FinalExponentiation(f.Conjugate());
 }
 
 }  // namespace apqa::crypto

@@ -33,7 +33,10 @@ GT FinalExponentiation(const GT& f);
 // e(p, q).
 GT Pairing(const G1& p, const G2& q);
 
-// prod_i e(p_i, q_i) with one shared final exponentiation.
+// prod_i e(p_i, q_i) with one shared final exponentiation. The Miller loops
+// run in lockstep so that each doubling/addition step merges the per-pair
+// affine-slope inversions into a single batched inversion (Montgomery's
+// trick), and the inputs are affine-normalized with one inversion per side.
 GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs);
 
 }  // namespace apqa::crypto

@@ -1,0 +1,238 @@
+// Differential tests for the scalar-multiplication engine (crypto/msm.h):
+// fixed-base tables, Pippenger MSM, batched inversion / affine
+// normalization, and the lockstep batched MultiPairing — each checked
+// against the generic reference kernels.
+#include <gtest/gtest.h>
+
+#include "crypto/msm.h"
+#include "crypto/pairing.h"
+#include "crypto/rng.h"
+
+namespace apqa::crypto {
+namespace {
+
+Fr RMinusOne() { return -Fr::One(); }
+
+TEST(BatchInverseTest, MatchesScalarInverse) {
+  Rng rng(1);
+  std::vector<Fp> xs(17);
+  for (auto& x : xs) x = Fp::FromU64(rng.NextU64() | 1);
+  std::vector<Fp> expect(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) expect[i] = xs[i].Inverse();
+  BatchInverse(xs.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], expect[i]);
+}
+
+TEST(BatchInverseTest, ZeroEntriesStayZero) {
+  Rng rng(2);
+  std::vector<Fp> xs = {Fp::FromU64(7), Fp::Zero(), Fp::FromU64(11),
+                        Fp::Zero()};
+  std::vector<Fp> expect(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) expect[i] = xs[i].Inverse();
+  BatchInverse(xs.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], expect[i]);
+  EXPECT_TRUE(xs[1].IsZero());
+  // All-zero and empty inputs must not divide by zero.
+  std::vector<Fp> zeros(3, Fp::Zero());
+  BatchInverse(zeros.data(), zeros.size());
+  for (const auto& z : zeros) EXPECT_TRUE(z.IsZero());
+  BatchInverse(zeros.data(), 0);
+}
+
+TEST(BatchToAffineTest, NormalizesMixedPoints) {
+  Rng rng(3);
+  std::vector<G1> pts;
+  for (int i = 0; i < 9; ++i) pts.push_back(G1Mul(rng.NextNonZeroFr()));
+  pts.insert(pts.begin() + 4, G1::Infinity());
+  std::vector<G1> orig = pts;
+  BatchToAffine<Fp>(std::span<G1>(pts));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i], orig[i]);
+    if (!pts[i].IsInfinity()) {
+      EXPECT_EQ(pts[i].z, Fp::One());
+      Fp ax, ay;
+      orig[i].ToAffine(&ax, &ay);
+      EXPECT_EQ(pts[i].x, ax);
+      EXPECT_EQ(pts[i].y, ay);
+    }
+  }
+  EXPECT_TRUE(pts[4].IsInfinity());
+}
+
+TEST(MixedAddTest, MatchesGeneralAddition) {
+  Rng rng(4);
+  G1 a = G1Mul(rng.NextNonZeroFr());
+  G1 b = G1Mul(rng.NextNonZeroFr());
+  Fp bx, by;
+  b.ToAffine(&bx, &by);
+  EXPECT_EQ(a.AddMixed(bx, by), a + b);
+  // Infinity + affine, doubling, and inverse edge cases.
+  EXPECT_EQ(G1::Infinity().AddMixed(bx, by), b);
+  EXPECT_EQ(b.AddMixed(bx, by), b.Double());
+  EXPECT_TRUE((-b).AddMixed(bx, by).IsInfinity());
+}
+
+TEST(FixedBaseTableTest, G1MatchesScalarMul) {
+  Rng rng(5);
+  G1 base = G1Mul(rng.NextNonZeroFr());
+  FixedBaseTable<Fp> tab(base);
+  for (int i = 0; i < 20; ++i) {
+    Fr k = rng.NextFr();
+    EXPECT_EQ(tab.Mul(k), base.ScalarMul(k));
+  }
+  // Edge scalars: 0, 1, r-1 (top digit pattern), small powers of 16.
+  EXPECT_TRUE(tab.Mul(Fr::Zero()).IsInfinity());
+  EXPECT_EQ(tab.Mul(Fr::One()), base);
+  EXPECT_EQ(tab.Mul(RMinusOne()), -base);
+  EXPECT_EQ(tab.Mul(Fr::FromU64(16)), base.ScalarMul(Fr::FromU64(16)));
+  EXPECT_EQ(tab.Mul(Fr::FromU64(15)), base.ScalarMul(Fr::FromU64(15)));
+}
+
+TEST(FixedBaseTableTest, G2MatchesScalarMul) {
+  Rng rng(6);
+  G2 base = G2Mul(rng.NextNonZeroFr());
+  FixedBaseTable<Fp2> tab(base);
+  for (int i = 0; i < 10; ++i) {
+    Fr k = rng.NextFr();
+    EXPECT_EQ(tab.Mul(k), base.ScalarMul(k));
+  }
+  EXPECT_TRUE(tab.Mul(Fr::Zero()).IsInfinity());
+  EXPECT_EQ(tab.Mul(Fr::One()), base);
+  EXPECT_EQ(tab.Mul(RMinusOne()), -base);
+}
+
+TEST(FixedBaseTableTest, InfinityBase) {
+  FixedBaseTable<Fp> tab(G1::Infinity());
+  EXPECT_TRUE(tab.Initialized());
+  EXPECT_TRUE(tab.Mul(Fr::FromU64(123)).IsInfinity());
+  FixedBaseTable<Fp> empty;
+  EXPECT_FALSE(empty.Initialized());
+}
+
+TEST(FixedBaseTableTest, GeneratorTablesMatchGeneratorMul) {
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    Fr k = rng.NextFr();
+    EXPECT_EQ(G1Mul(k), G1Generator().ScalarMul(k));
+    EXPECT_EQ(G2Mul(k), G2Generator().ScalarMul(k));
+  }
+}
+
+G1 NaiveMsmG1(const std::vector<G1>& pts, const std::vector<Fr>& ks) {
+  G1 acc = G1::Infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    acc = acc + pts[i].ScalarMul(ks[i]);
+  }
+  return acc;
+}
+
+TEST(MsmTest, G1MatchesNaiveAcrossSizes) {
+  Rng rng(8);
+  // Spans both the naive fallback (n < 8) and Pippenger windows.
+  for (std::size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 33u, 100u}) {
+    std::vector<G1> pts(n);
+    std::vector<Fr> ks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i] = G1Mul(rng.NextNonZeroFr());
+      ks[i] = rng.NextFr();
+    }
+    EXPECT_EQ(G1Msm(std::span<const G1>(pts), std::span<const Fr>(ks)),
+              NaiveMsmG1(pts, ks))
+        << "n=" << n;
+  }
+}
+
+TEST(MsmTest, G1EdgeTerms) {
+  Rng rng(9);
+  std::vector<G1> pts;
+  std::vector<Fr> ks;
+  // Mix of zero scalars, infinity points, one, and r-1.
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(G1Mul(rng.NextNonZeroFr()));
+    ks.push_back(rng.NextFr());
+  }
+  ks[0] = Fr::Zero();
+  ks[1] = Fr::One();
+  ks[2] = RMinusOne();
+  pts[3] = G1::Infinity();
+  EXPECT_EQ(G1Msm(std::span<const G1>(pts), std::span<const Fr>(ks)),
+            NaiveMsmG1(pts, ks));
+  // All-degenerate input.
+  std::vector<G1> inf(3, G1::Infinity());
+  std::vector<Fr> zero(3, Fr::Zero());
+  EXPECT_TRUE(
+      G1Msm(std::span<const G1>(inf), std::span<const Fr>(zero)).IsInfinity());
+}
+
+TEST(MsmTest, G2MatchesNaive) {
+  Rng rng(10);
+  for (std::size_t n : {3u, 9u, 20u}) {
+    std::vector<G2> pts(n);
+    std::vector<Fr> ks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i] = G2Mul(rng.NextNonZeroFr());
+      ks[i] = rng.NextFr();
+    }
+    G2 naive = G2::Infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      naive = naive + pts[i].ScalarMul(ks[i]);
+    }
+    EXPECT_EQ(G2Msm(std::span<const G2>(pts), std::span<const Fr>(ks)), naive)
+        << "n=" << n;
+  }
+}
+
+TEST(MsmTest, MsmLinearity) {
+  // MSM(k1, P; k2, P) == (k1 + k2) * P — exercises bucket collisions.
+  Rng rng(11);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  Fr k1 = rng.NextFr(), k2 = rng.NextFr();
+  std::vector<G1> pts(9, p);
+  std::vector<Fr> ks(9, k1);
+  ks[8] = k2;
+  Fr total = k2;
+  for (int i = 0; i < 8; ++i) total = total + k1;
+  EXPECT_EQ(G1Msm(std::span<const G1>(pts), std::span<const Fr>(ks)),
+            p.ScalarMul(total));
+}
+
+TEST(MultiPairingBatchedTest, MatchesPerPairReference) {
+  Rng rng(12);
+  for (std::size_t n : {1u, 2u, 5u, 9u}) {
+    std::vector<std::pair<G1, G2>> pairs;
+    GT reference = GT::One();
+    for (std::size_t i = 0; i < n; ++i) {
+      G1 p = G1Mul(rng.NextNonZeroFr());
+      G2 q = G2Mul(rng.NextNonZeroFr());
+      pairs.emplace_back(p, q);
+      reference = reference * MillerLoop(p, q);
+    }
+    EXPECT_EQ(MultiPairing(pairs), FinalExponentiation(reference))
+        << "n=" << n;
+  }
+}
+
+TEST(MultiPairingBatchedTest, SkipsInfinityPairs) {
+  Rng rng(13);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  std::vector<std::pair<G1, G2>> pairs = {
+      {G1::Infinity(), q}, {p, q}, {p, G2::Infinity()}};
+  EXPECT_EQ(MultiPairing(pairs), Pairing(p, q));
+  std::vector<std::pair<G1, G2>> all_inf = {{G1::Infinity(), G2::Infinity()}};
+  EXPECT_TRUE(MultiPairing(all_inf).IsOne());
+  EXPECT_TRUE(MultiPairing({}).IsOne());
+}
+
+TEST(MultiPairingBatchedTest, CancellationStillHolds) {
+  Rng rng(14);
+  Fr a = rng.NextNonZeroFr();
+  std::vector<std::pair<G1, G2>> pairs = {
+      {G1Mul(a), G2Generator()},
+      {-G1Mul(a), G2Generator()},
+  };
+  EXPECT_TRUE(MultiPairing(pairs).IsOne());
+}
+
+}  // namespace
+}  // namespace apqa::crypto
