@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full local check: regular build + ctest, then a UBSan build of the crypto
 # stack (curve / msm / pairing / abs tests run directly; field arithmetic is
-# where unsigned-overflow-adjacent bugs would hide).
+# where unsigned-overflow-adjacent bugs would hide), then an ASan build of
+# the fault-injection suite (hostile-bytes handling is where heap bugs would
+# hide).
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 set -euo pipefail
@@ -32,5 +34,15 @@ for t in curve_test msm_test pairing_test abs_test; do
   echo "--- $t ---"
   ./build-ubsan/tests/"$t" --gtest_brief=1
 done
+
+echo "=== build (ASan) ==="
+cmake -B build-asan -S . -DAPQA_SANITIZE=address >/dev/null
+cmake --build build-asan -j --target \
+  fault_injection_test serde_test fuzz_vo_deserialize
+
+echo "=== hostile-input tests under ASan ==="
+./build-asan/tests/serde_test --gtest_brief=1
+./build-asan/tests/fault_injection_test --gtest_brief=1
+./build-asan/tests/fuzz_vo_deserialize
 
 echo "=== all checks passed ==="

@@ -118,19 +118,13 @@ Signature Signature::Deserialize(common::ByteReader* r) {
   std::uint32_t ns = r->GetU32();
   // A G1 element takes at least one byte on the wire; element counts beyond
   // the remaining bytes are corrupt. Guards reserve() from hostile counts.
-  if (ns > r->Remaining()) {
-    r->MarkBad();
-    return sig;
-  }
+  if (!r->CheckCount(ns, 1)) return sig;
   sig.s.reserve(ns);
   for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
     sig.s.push_back(crypto::ReadG1(r));
   }
   std::uint32_t np = r->GetU32();
-  if (np > r->Remaining()) {
-    r->MarkBad();
-    return sig;
-  }
+  if (!r->CheckCount(np, 1)) return sig;
   sig.p.reserve(np);
   for (std::uint32_t i = 0; i < np && r->ok(); ++i) {
     sig.p.push_back(crypto::ReadG2(r));

@@ -87,7 +87,7 @@ struct SigningKey {
 // carried externally. Row labels of the predicate's span program order the
 // S_i components.
 struct Signature {
-  std::array<std::uint8_t, 32> tau;
+  std::array<std::uint8_t, 32> tau{};
   G1 y, w;
   std::vector<G1> s;
   std::vector<G2> p;
@@ -95,6 +95,11 @@ struct Signature {
   void Serialize(common::ByteWriter* w_) const;
   static Signature Deserialize(common::ByteReader* r);
   std::size_t SerializedSize() const;
+
+  // Smallest possible wire footprint: tau (32) + y, w as infinity flags
+  // (1 each) + two empty vector counts (4 each). Used to clamp hostile
+  // element counts before allocating.
+  static constexpr std::size_t kMinSerializedSize = 32 + 1 + 1 + 4 + 4;
 };
 
 // Maps a role name to its attribute scalar (SHA-256 into Fr).

@@ -1,0 +1,161 @@
+// Deterministic byte-level and structural mutators for fault-injection
+// testing of the untrusted-input (SP → user) path.
+//
+// Every mutation is driven by a splitmix64 stream seeded explicitly, so a
+// failing corpus entry is reproducible from (seed, iteration) alone — no
+// dependency on the crypto Rng or on global state. The mutators model the
+// tampering a hostile SP can perform on serialized VOs: truncation, bit
+// flips, length-field inflation, span drop/duplicate/swap, and splicing
+// bytes from a *different* valid VO (tag/type confusion).
+//
+// Header-only so both the gtest harness and the libFuzzer entry point can
+// use it without linking extra objects.
+#ifndef APQA_COMMON_MUTATE_H_
+#define APQA_COMMON_MUTATE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apqa::common {
+
+// splitmix64 (Steele et al.); passes BigCrush, two ops per output, and —
+// unlike std::mt19937 — identical output on every platform and standard
+// library, which is what makes corpus entries reproducible.
+class MutRng {
+ public:
+  explicit MutRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform-ish value in [0, n); n == 0 returns 0. Modulo bias is
+  // irrelevant for fuzzing purposes.
+  std::size_t Below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(Next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+enum class MutationKind {
+  kTruncate,        // drop a suffix
+  kBitFlip,         // flip 1..8 random bits
+  kByteSet,         // overwrite 1..4 random bytes
+  kLengthInflate,   // overwrite 4 bytes with a huge little-endian u32
+  kSpanDrop,        // erase a random span (shifts field boundaries)
+  kSpanDuplicate,   // re-insert a copy of a random span (entry duplication)
+  kSpanSwap,        // exchange two equal-length spans (entry reorder)
+  kSplice,          // copy a span from a donor buffer (cross-VO confusion)
+};
+inline constexpr int kNumMutationKinds = 8;
+
+inline const char* MutationKindName(MutationKind k) {
+  switch (k) {
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kBitFlip: return "bit-flip";
+    case MutationKind::kByteSet: return "byte-set";
+    case MutationKind::kLengthInflate: return "length-inflate";
+    case MutationKind::kSpanDrop: return "span-drop";
+    case MutationKind::kSpanDuplicate: return "span-duplicate";
+    case MutationKind::kSpanSwap: return "span-swap";
+    case MutationKind::kSplice: return "splice";
+  }
+  return "?";
+}
+
+// Applies one seeded mutation in place and returns what was done. `donor`
+// (optional) supplies foreign bytes for kSplice; without one, splice
+// degrades to kByteSet. An empty buffer only grows.
+inline MutationKind Mutate(std::vector<std::uint8_t>* buf, MutRng* rng,
+                           const std::vector<std::uint8_t>* donor = nullptr) {
+  auto& b = *buf;
+  if (b.empty()) {
+    b.push_back(static_cast<std::uint8_t>(rng->Next()));
+    return MutationKind::kByteSet;
+  }
+  auto kind = static_cast<MutationKind>(rng->Below(kNumMutationKinds));
+  switch (kind) {
+    case MutationKind::kTruncate: {
+      b.resize(rng->Below(b.size()));
+      break;
+    }
+    case MutationKind::kBitFlip: {
+      std::size_t flips = 1 + rng->Below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        b[rng->Below(b.size())] ^=
+            static_cast<std::uint8_t>(1u << rng->Below(8));
+      }
+      break;
+    }
+    case MutationKind::kByteSet: {
+      std::size_t n = 1 + rng->Below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        b[rng->Below(b.size())] = static_cast<std::uint8_t>(rng->Next());
+      }
+      break;
+    }
+    case MutationKind::kLengthInflate: {
+      if (b.size() < 4) {
+        b[0] = 0xff;
+        break;
+      }
+      std::size_t off = rng->Below(b.size() - 3);
+      std::uint32_t huge = 0x01000000u | static_cast<std::uint32_t>(rng->Next());
+      for (int i = 0; i < 4; ++i) {
+        b[off + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+      }
+      break;
+    }
+    case MutationKind::kSpanDrop: {
+      std::size_t len = 1 + rng->Below(std::min<std::size_t>(b.size(), 64));
+      std::size_t off = rng->Below(b.size() - len + 1);
+      b.erase(b.begin() + off, b.begin() + off + len);
+      break;
+    }
+    case MutationKind::kSpanDuplicate: {
+      std::size_t len = 1 + rng->Below(std::min<std::size_t>(b.size(), 64));
+      std::size_t off = rng->Below(b.size() - len + 1);
+      std::vector<std::uint8_t> span(b.begin() + off, b.begin() + off + len);
+      b.insert(b.begin() + off + len, span.begin(), span.end());
+      break;
+    }
+    case MutationKind::kSpanSwap: {
+      std::size_t len = 1 + rng->Below(std::min<std::size_t>(b.size() / 2, 32));
+      if (b.size() < 2 * len) {
+        b[rng->Below(b.size())] ^= 0xff;
+        break;
+      }
+      std::size_t a = rng->Below(b.size() - 2 * len + 1);
+      std::size_t c = a + len + rng->Below(b.size() - a - 2 * len + 1);
+      std::swap_ranges(b.begin() + a, b.begin() + a + len, b.begin() + c);
+      break;
+    }
+    case MutationKind::kSplice: {
+      if (donor == nullptr || donor->empty()) {
+        b[rng->Below(b.size())] = static_cast<std::uint8_t>(rng->Next());
+        kind = MutationKind::kByteSet;
+        break;
+      }
+      std::size_t len =
+          1 + rng->Below(std::min<std::size_t>(donor->size(), 64));
+      std::size_t src = rng->Below(donor->size() - len + 1);
+      std::size_t dst = rng->Below(b.size());
+      // Overwrite up to the end of `b`; growing is the duplicator's job.
+      std::size_t n = std::min(len, b.size() - dst);
+      std::copy_n(donor->begin() + src, n, b.begin() + dst);
+      break;
+    }
+  }
+  return kind;
+}
+
+}  // namespace apqa::common
+
+#endif  // APQA_COMMON_MUTATE_H_

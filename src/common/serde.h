@@ -1,6 +1,13 @@
 // Minimal binary serialization used to materialize ADS entries and
 // verification objects (VOs). VO byte size is one of the paper's reported
 // metrics, so every protocol message in this library can be serialized.
+//
+// The reader side is the system's adversarial-input boundary: VOs come from
+// an untrusted service provider, so every Deserialize must be *total* —
+// arbitrary bytes either parse into a structurally valid object or leave the
+// reader in a flagged error state. The reader records the first wire-level
+// error (with a coarse classification) so verifiers can report *why* an
+// input was rejected instead of a bare false.
 #ifndef APQA_COMMON_SERDE_H_
 #define APQA_COMMON_SERDE_H_
 
@@ -38,6 +45,35 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+// Coarse classification of why a read failed. Deserializers set these via
+// MarkBad; the verification layer maps them onto VerifyResult codes.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kTruncated,          // read past the end of the buffer
+  kLengthOverflow,     // declared count/length exceeds the remaining bytes
+  kUnknownTag,         // unrecognized discriminator byte
+  kBadPolicy,          // policy text failed to parse or exceeds caps
+  kPointNotOnCurve,    // group point fails the curve equation
+  kPointNotInSubgroup, // on curve but outside the prime-order subgroup
+  kNonCanonical,       // non-canonical encoding (unreduced field element...)
+  kMalformed,          // other structural violation
+};
+
+inline const char* WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kLengthOverflow: return "length-overflow";
+    case WireError::kUnknownTag: return "unknown-tag";
+    case WireError::kBadPolicy: return "bad-policy";
+    case WireError::kPointNotOnCurve: return "point-not-on-curve";
+    case WireError::kPointNotInSubgroup: return "point-not-in-subgroup";
+    case WireError::kNonCanonical: return "non-canonical";
+    case WireError::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
 class ByteReader {
  public:
   explicit ByteReader(const std::vector<std::uint8_t>& buf)
@@ -46,9 +82,33 @@ class ByteReader {
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == size_; }
-  // Lets deserializers flag semantic errors (e.g. absurd element counts).
-  void MarkBad() { ok_ = false; }
+  // Lets deserializers flag semantic errors. The first error (and its
+  // detail, a static string) is kept; later errors are usually cascades.
+  void MarkBad(WireError e = WireError::kMalformed,
+               const char* detail = nullptr) {
+    if (ok_) {
+      error_ = e;
+      detail_ = detail;
+    }
+    ok_ = false;
+  }
+  WireError error() const { return error_; }
+  // May be null; points to a static string describing the first error.
+  const char* error_detail() const { return detail_; }
   std::size_t Remaining() const { return size_ - pos_; }
+
+  // Guards element-count fields read off the wire: every element of the
+  // announced collection occupies at least `min_elem_bytes`, so a count
+  // that cannot fit in the remaining bytes is corrupt. Returns false (and
+  // flags the reader) on a hostile count, so a 4-byte length field can
+  // never drive allocation or loop iterations beyond the input size.
+  bool CheckCount(std::uint64_t count, std::size_t min_elem_bytes) {
+    if (count * min_elem_bytes > Remaining()) {  // count < 2^32, no overflow
+      MarkBad(WireError::kLengthOverflow, "element count exceeds input size");
+      return false;
+    }
+    return true;
+  }
 
   std::uint8_t GetU8() {
     std::uint8_t v = 0;
@@ -70,8 +130,8 @@ class ByteReader {
     return v;
   }
   void Get(void* out, std::size_t n) {
-    if (pos_ + n > size_) {
-      ok_ = false;
+    if (n > size_ - pos_) {
+      MarkBad(WireError::kTruncated, "input truncated");
       std::memset(out, 0, n);
       return;
     }
@@ -80,8 +140,8 @@ class ByteReader {
   }
   std::string GetString() {
     std::uint32_t n = GetU32();
-    if (pos_ + n > size_) {
-      ok_ = false;
+    if (n > size_ - pos_) {
+      MarkBad(WireError::kLengthOverflow, "string length exceeds input size");
       return {};
     }
     std::string s(reinterpret_cast<const char*>(buf_ + pos_), n);
@@ -94,6 +154,8 @@ class ByteReader {
   std::size_t size_;
   std::size_t pos_ = 0;
   bool ok_ = true;
+  WireError error_ = WireError::kNone;
+  const char* detail_ = nullptr;
 };
 
 }  // namespace apqa::common

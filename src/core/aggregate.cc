@@ -4,24 +4,35 @@
 
 namespace apqa::core {
 
-std::optional<AggregateResult> VerifyAndAggregate(
+std::optional<AggregateResult> VerifyAndAggregateEx(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
-    const MeasureFn& measure, std::string* error) {
+    const MeasureFn& measure, VerifyResult* why) {
   std::vector<Record> results;
-  if (!VerifyRangeVo(mvk, domain, range, user_roles, universe, vo, &results,
-                     error)) {
-    return std::nullopt;
-  }
+  VerifyResult r = VerifyRangeVoEx(mvk, domain, range, user_roles, universe,
+                                   vo, &results);
+  if (why != nullptr) *why = r;
+  if (!r.ok()) return std::nullopt;
   AggregateResult agg;
-  for (const Record& r : results) {
-    std::optional<double> m = measure(r);
+  for (const Record& rec : results) {
+    std::optional<double> m = measure(rec);
     if (!m.has_value()) continue;
     ++agg.count;
     agg.sum += *m;
     if (!agg.min.has_value() || *m < *agg.min) agg.min = *m;
     if (!agg.max.has_value() || *m > *agg.max) agg.max = *m;
   }
+  return agg;
+}
+
+std::optional<AggregateResult> VerifyAndAggregate(
+    const VerifyKey& mvk, const Domain& domain, const Box& range,
+    const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
+    const MeasureFn& measure, std::string* error) {
+  VerifyResult why;
+  auto agg = VerifyAndAggregateEx(mvk, domain, range, user_roles, universe, vo,
+                                  measure, &why);
+  if (!agg.has_value() && error != nullptr) *error = why.ToString();
   return agg;
 }
 

@@ -38,7 +38,14 @@ struct AggregateResult {
 using MeasureFn = std::function<std::optional<double>(const Record&)>;
 
 // Verifies the VO and, on success, aggregates the accessible results.
-// Returns nullopt (and sets `error`) if verification fails.
+// Returns nullopt if verification fails; `why` (if not null) receives the
+// structured verification result either way.
+std::optional<AggregateResult> VerifyAndAggregateEx(
+    const VerifyKey& mvk, const Domain& domain, const Box& range,
+    const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
+    const MeasureFn& measure, VerifyResult* why = nullptr);
+
+// Legacy bool-style API; `error` receives the stringified result.
 std::optional<AggregateResult> VerifyAndAggregate(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/vo.h"
+
 namespace apqa::core {
 
 namespace {
@@ -129,21 +131,77 @@ ContinuousVo BuildContinuousRangeVo(const ContinuousAds& ads,
 }
 
 std::size_t ContinuousVo::SerializedSize() const {
-  std::size_t n = 0;
-  for (const auto& e : results) {
-    n += 8 + e.value.size() + e.policy.ToString().size() +
-         e.app_sig.SerializedSize();
-  }
-  for (const auto& e : inaccessible) n += 40 + e.aps_sig.SerializedSize();
-  for (const auto& e : gaps) n += 16 + e.aps_sig.SerializedSize();
-  return n;
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
 }
 
-bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
-                             std::uint64_t beta, const RoleSet& user_roles,
-                             const RoleSet& universe, const ContinuousVo& vo,
-                             std::vector<ContinuousRecord>* results,
-                             std::string* error) {
+void ContinuousVo::Serialize(common::ByteWriter* w) const {
+  w->PutU32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& e : results) {
+    w->PutU64(e.key);
+    w->PutString(e.value);
+    w->PutString(e.policy.ToString());
+    e.app_sig.Serialize(w);
+  }
+  w->PutU32(static_cast<std::uint32_t>(inaccessible.size()));
+  for (const auto& e : inaccessible) {
+    w->PutU64(e.key);
+    w->PutBytes(e.value_hash.data(), e.value_hash.size());
+    e.aps_sig.Serialize(w);
+  }
+  w->PutU32(static_cast<std::uint32_t>(gaps.size()));
+  for (const auto& e : gaps) {
+    w->PutU64(e.gap.lo);
+    w->PutU64(e.gap.hi);
+    e.aps_sig.Serialize(w);
+  }
+}
+
+ContinuousVo ContinuousVo::Deserialize(common::ByteReader* r) {
+  ContinuousVo vo;
+  std::uint32_t nr = r->GetU32();
+  if (!r->CheckCount(nr, kMinVoEntryBytes)) return vo;
+  vo.results.reserve(nr);
+  for (std::uint32_t i = 0; i < nr && r->ok(); ++i) {
+    ResultEntry e;
+    e.key = r->GetU64();
+    e.value = r->GetString();
+    e.policy = ReadPolicy(r);
+    e.app_sig = Signature::Deserialize(r);
+    vo.results.push_back(std::move(e));
+  }
+  std::uint32_t ni = r->GetU32();
+  if (!r->CheckCount(ni, kMinVoEntryBytes)) return vo;
+  vo.inaccessible.reserve(ni);
+  for (std::uint32_t i = 0; i < ni && r->ok(); ++i) {
+    InaccessibleEntry e;
+    e.key = r->GetU64();
+    r->Get(e.value_hash.data(), e.value_hash.size());
+    e.aps_sig = Signature::Deserialize(r);
+    vo.inaccessible.push_back(std::move(e));
+  }
+  std::uint32_t ng = r->GetU32();
+  if (!r->CheckCount(ng, kMinVoEntryBytes)) return vo;
+  vo.gaps.reserve(ng);
+  for (std::uint32_t i = 0; i < ng && r->ok(); ++i) {
+    GapEntry e;
+    e.gap.lo = r->GetU64();
+    e.gap.hi = r->GetU64();
+    e.aps_sig = Signature::Deserialize(r);
+    vo.gaps.push_back(std::move(e));
+  }
+  return vo;
+}
+
+VerifyResult VerifyContinuousRangeVoEx(
+    const VerifyKey& mvk, std::uint64_t alpha, std::uint64_t beta,
+    const RoleSet& user_roles, const RoleSet& universe, const ContinuousVo& vo,
+    std::vector<ContinuousRecord>* results) {
+  if (alpha > beta) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range is inverted");
+  }
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
 
@@ -152,30 +210,36 @@ bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
     std::uint64_t lo, hi;
   };
   std::vector<Interval> intervals;
-  for (const auto& e : vo.results) {
+  for (std::size_t i = 0; i < vo.results.size(); ++i) {
+    const auto& e = vo.results[i];
     if (e.key < alpha || e.key > beta) {
-      SetError(error, "result key outside range");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                "result key outside range",
+                                static_cast<std::ptrdiff_t>(i));
     }
     intervals.push_back({e.key, e.key});
   }
-  for (const auto& e : vo.inaccessible) {
+  for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
+    const auto& e = vo.inaccessible[i];
     if (e.key < alpha || e.key > beta) {
-      SetError(error, "inaccessible key outside range");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                "inaccessible key outside range",
+                                static_cast<std::ptrdiff_t>(i));
     }
     intervals.push_back({e.key, e.key});
   }
-  for (const auto& e : vo.gaps) {
+  for (std::size_t i = 0; i < vo.gaps.size(); ++i) {
+    const auto& e = vo.gaps[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (e.gap.hi <= e.gap.lo || e.gap.hi - e.gap.lo < 2) {
-      SetError(error, "degenerate gap");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kMalformedVo, "degenerate gap",
+                                idx);
     }
     std::uint64_t lo = std::max(e.gap.lo + 1, alpha);
     std::uint64_t hi = std::min(e.gap.hi - 1, beta);
     if (lo > hi) {
-      SetError(error, "gap outside range");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                "gap outside range", idx);
     }
     intervals.push_back({lo, hi});
   }
@@ -184,44 +248,63 @@ bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
   std::uint64_t next = alpha;
   for (const auto& iv : intervals) {
     if (iv.lo != next) {
-      SetError(error, "coverage hole or overlap");
-      return false;
+      return VerifyResult::Fail(iv.lo < next ? VerifyCode::kOverlap
+                                             : VerifyCode::kCoverageGap,
+                                "coverage hole or overlap");
     }
     next = iv.hi + 1;
   }
   if (next != beta + 1) {
-    SetError(error, "range not fully covered");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kCoverageGap,
+                              "range not fully covered");
   }
 
-  for (const auto& e : vo.results) {
+  for (std::size_t i = 0; i < vo.results.size(); ++i) {
+    const auto& e = vo.results[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!e.policy.Evaluate(user_roles)) {
-      SetError(error, "result policy not satisfied");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                "result policy not satisfied", idx);
     }
     if (!abs::Abs::Verify(mvk, ContinuousRecordMessage(e.key, e.value),
                           e.policy, e.app_sig)) {
-      SetError(error, "record APP signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "record APP signature verification failed",
+                                idx);
     }
     if (results != nullptr) {
       results->push_back(ContinuousRecord{e.key, e.value, e.policy});
     }
   }
-  for (const auto& e : vo.inaccessible) {
+  for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
+    const auto& e = vo.inaccessible[i];
     auto msg = ContinuousRecordMessageFromHash(e.key, e.value_hash);
     if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      SetError(error, "record APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "record APS signature verification failed",
+                                static_cast<std::ptrdiff_t>(i));
     }
   }
-  for (const auto& e : vo.gaps) {
+  for (std::size_t i = 0; i < vo.gaps.size(); ++i) {
+    const auto& e = vo.gaps[i];
     if (!abs::Abs::Verify(mvk, GapMessage(e.gap), super_policy, e.aps_sig)) {
-      SetError(error, "gap APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "gap APS signature verification failed",
+                                static_cast<std::ptrdiff_t>(i));
     }
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
+                             std::uint64_t beta, const RoleSet& user_roles,
+                             const RoleSet& universe, const ContinuousVo& vo,
+                             std::vector<ContinuousRecord>* results,
+                             std::string* error) {
+  VerifyResult r = VerifyContinuousRangeVoEx(mvk, alpha, beta, user_roles,
+                                             universe, vo, results);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
@@ -258,58 +341,72 @@ ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
   return vo;  // key coincides with a sentinel; empty VO will fail verification
 }
 
-bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
-                                const RoleSet& user_roles,
-                                const RoleSet& universe, const ContinuousVo& vo,
-                                std::optional<ContinuousRecord>* result,
-                                std::string* error) {
+VerifyResult VerifyContinuousEqualityVoEx(
+    const VerifyKey& mvk, std::uint64_t key, const RoleSet& user_roles,
+    const RoleSet& universe, const ContinuousVo& vo,
+    std::optional<ContinuousRecord>* result) {
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
   std::size_t total = vo.results.size() + vo.inaccessible.size() +
                       vo.gaps.size();
   if (total != 1) {
-    SetError(error, "equality VO must contain exactly one entry");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kWrongEntryCount,
+                              "equality VO must contain exactly one entry");
   }
   if (!vo.results.empty()) {
     const auto& e = vo.results[0];
-    if (e.key != key || !e.policy.Evaluate(user_roles)) {
-      SetError(error, "result key/policy mismatch");
-      return false;
+    if (e.key != key) {
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "result key does not match query", 0);
+    }
+    if (!e.policy.Evaluate(user_roles)) {
+      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                "result policy not satisfied", 0);
     }
     if (!abs::Abs::Verify(mvk, ContinuousRecordMessage(e.key, e.value),
                           e.policy, e.app_sig)) {
-      SetError(error, "APP signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "APP signature verification failed", 0);
     }
     if (result != nullptr) *result = ContinuousRecord{e.key, e.value, e.policy};
-    return true;
+    return VerifyResult::Ok();
   }
   if (!vo.inaccessible.empty()) {
     const auto& e = vo.inaccessible[0];
     if (e.key != key) {
-      SetError(error, "inaccessible key mismatch");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "inaccessible key mismatch", 0);
     }
     auto msg = ContinuousRecordMessageFromHash(e.key, e.value_hash);
     if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      SetError(error, "APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "APS signature verification failed", 0);
     }
     if (result != nullptr) result->reset();
-    return true;
+    return VerifyResult::Ok();
   }
   const auto& e = vo.gaps[0];
   if (!(e.gap.lo < key && key < e.gap.hi)) {
-    SetError(error, "gap does not contain query key");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                              "gap does not contain query key", 0);
   }
   if (!abs::Abs::Verify(mvk, GapMessage(e.gap), super_policy, e.aps_sig)) {
-    SetError(error, "gap APS signature verification failed");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kBadSignature,
+                              "gap APS signature verification failed", 0);
   }
   if (result != nullptr) result->reset();
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
+                                const RoleSet& user_roles,
+                                const RoleSet& universe, const ContinuousVo& vo,
+                                std::optional<ContinuousRecord>* result,
+                                std::string* error) {
+  VerifyResult r = VerifyContinuousEqualityVoEx(mvk, key, user_roles, universe,
+                                                vo, result);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

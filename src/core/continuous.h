@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "common/serde.h"
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/verify_result.h"
 
 namespace apqa::core {
 
@@ -85,6 +87,8 @@ struct ContinuousVo {
   std::vector<GapEntry> gaps;
 
   std::size_t SerializedSize() const;
+  void Serialize(common::ByteWriter* w) const;
+  static ContinuousVo Deserialize(common::ByteReader* r);
 };
 
 // SP side: range [alpha, beta] (inclusive).
@@ -96,6 +100,13 @@ ContinuousVo BuildContinuousRangeVo(const ContinuousAds& ads,
 
 // User side: soundness + completeness (the points and open gaps must tile
 // [alpha, beta] exactly).
+VerifyResult VerifyContinuousRangeVoEx(const VerifyKey& mvk,
+                                       std::uint64_t alpha, std::uint64_t beta,
+                                       const RoleSet& user_roles,
+                                       const RoleSet& universe,
+                                       const ContinuousVo& vo,
+                                       std::vector<ContinuousRecord>* results);
+
 bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
                              std::uint64_t beta, const RoleSet& user_roles,
                              const RoleSet& universe, const ContinuousVo& vo,
@@ -108,6 +119,11 @@ ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
                                        const VerifyKey& mvk, std::uint64_t key,
                                        const RoleSet& user_roles,
                                        const RoleSet& universe, Rng* rng);
+
+VerifyResult VerifyContinuousEqualityVoEx(
+    const VerifyKey& mvk, std::uint64_t key, const RoleSet& user_roles,
+    const RoleSet& universe, const ContinuousVo& vo,
+    std::optional<ContinuousRecord>* result);
 
 bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
                                 const RoleSet& user_roles,

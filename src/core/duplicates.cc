@@ -318,25 +318,86 @@ DupVo BuildDupRangeVo(const DupGridTree& tree, const VerifyKey& mvk,
   return vo;
 }
 
-std::size_t DupVo::SerializedSize() const {
-  std::size_t n = 0;
+void DupVo::Serialize(common::ByteWriter* w) const {
+  w->PutU32(static_cast<std::uint32_t>(results.size()));
   for (const auto& e : results) {
-    n += 4 * e.key.size() + e.value.size() + e.policy.ToString().size() + 8 +
-         e.app_sig.SerializedSize();
+    WritePoint(w, e.key);
+    w->PutString(e.value);
+    w->PutString(e.policy.ToString());
+    w->PutU32(e.dup_num);
+    w->PutU32(e.dup_id);
+    e.app_sig.Serialize(w);
   }
+  w->PutU32(static_cast<std::uint32_t>(inaccessible.size()));
   for (const auto& e : inaccessible) {
-    n += 4 * e.key.size() + 32 + 8 + e.aps_sig.SerializedSize();
+    WritePoint(w, e.key);
+    w->PutBytes(e.value_hash.data(), e.value_hash.size());
+    w->PutU32(e.dup_num);
+    w->PutU32(e.dup_id);
+    e.aps_sig.Serialize(w);
   }
+  w->PutU32(static_cast<std::uint32_t>(boxes.size()));
   for (const auto& e : boxes) {
-    n += 8 * e.box.lo.size() + e.aps_sig.SerializedSize();
+    WriteBox(w, e.box);
+    e.aps_sig.Serialize(w);
   }
-  return n;
 }
 
-bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
-                      const Box& range, const RoleSet& user_roles,
-                      const RoleSet& universe, const DupVo& vo,
-                      std::vector<Record>* results, std::string* error) {
+DupVo DupVo::Deserialize(common::ByteReader* r) {
+  DupVo vo;
+  std::uint32_t nr = r->GetU32();
+  if (!r->CheckCount(nr, kMinVoEntryBytes)) return vo;
+  vo.results.reserve(nr);
+  for (std::uint32_t i = 0; i < nr && r->ok(); ++i) {
+    DupResultEntry e;
+    e.key = ReadPoint(r);
+    e.value = r->GetString();
+    e.policy = ReadPolicy(r);
+    e.dup_num = r->GetU32();
+    e.dup_id = r->GetU32();
+    e.app_sig = Signature::Deserialize(r);
+    vo.results.push_back(std::move(e));
+  }
+  std::uint32_t ni = r->GetU32();
+  if (!r->CheckCount(ni, kMinVoEntryBytes)) return vo;
+  vo.inaccessible.reserve(ni);
+  for (std::uint32_t i = 0; i < ni && r->ok(); ++i) {
+    DupInaccessibleEntry e;
+    e.key = ReadPoint(r);
+    r->Get(e.value_hash.data(), e.value_hash.size());
+    e.dup_num = r->GetU32();
+    e.dup_id = r->GetU32();
+    e.aps_sig = Signature::Deserialize(r);
+    vo.inaccessible.push_back(std::move(e));
+  }
+  std::uint32_t nb = r->GetU32();
+  if (!r->CheckCount(nb, kMinVoEntryBytes)) return vo;
+  vo.boxes.reserve(nb);
+  for (std::uint32_t i = 0; i < nb && r->ok(); ++i) {
+    InaccessibleBoxEntry e;
+    e.box = ReadBox(r);
+    e.aps_sig = Signature::Deserialize(r);
+    vo.boxes.push_back(std::move(e));
+  }
+  return vo;
+}
+
+std::size_t DupVo::SerializedSize() const {
+  common::ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+VerifyResult VerifyDupRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                                const Box& range, const RoleSet& user_roles,
+                                const RoleSet& universe, const DupVo& vo,
+                                std::vector<Record>* results) {
+  if (!range.WellFormed() ||
+      range.lo.size() != static_cast<std::size_t>(domain.dims) ||
+      !domain.FullBox().ContainsBox(range)) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range invalid for domain");
+  }
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
 
@@ -356,39 +417,45 @@ bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
     return g.ids.insert(dup_id).second;
   };
 
-  for (const auto& e : vo.results) {
+  for (std::size_t i = 0; i < vo.results.size(); ++i) {
+    const DupVo::DupResultEntry& e = vo.results[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!account(e.key, e.dup_num, e.dup_id)) {
-      SetError(error, "inconsistent duplicate bookkeeping (result)");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kDuplicateBookkeeping,
+                                "inconsistent duplicate bookkeeping (result)",
+                                idx);
     }
     if (!e.policy.Evaluate(user_roles)) {
-      SetError(error, "result policy not satisfied");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                "result policy not satisfied", idx);
     }
     auto msg = DupRecordMessage(e.key, e.value, e.dup_num, e.dup_id);
     if (!abs::Abs::Verify(mvk, msg, e.policy, e.app_sig)) {
-      SetError(error, "dup APP signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "dup APP signature verification failed", idx);
     }
     if (results != nullptr) results->push_back(Record{e.key, e.value, e.policy});
   }
-  for (const auto& e : vo.inaccessible) {
+  for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
+    const DupVo::DupInaccessibleEntry& e = vo.inaccessible[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!account(e.key, e.dup_num, e.dup_id)) {
-      SetError(error, "inconsistent duplicate bookkeeping (inaccessible)");
-      return false;
+      return VerifyResult::Fail(
+          VerifyCode::kDuplicateBookkeeping,
+          "inconsistent duplicate bookkeeping (inaccessible)", idx);
     }
     auto msg = DupRecordMessageFromHash(e.key, e.value_hash, e.dup_num,
                                         e.dup_id);
     if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      SetError(error, "dup APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "dup APS signature verification failed", idx);
     }
   }
   // Every key group must be complete.
   for (const auto& [key, g] : groups) {
     if (g.ids.size() != g.dup_num) {
-      SetError(error, "missing duplicates for a key");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kDuplicateBookkeeping,
+                                "missing duplicates for a key");
     }
   }
 
@@ -399,15 +466,27 @@ bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
     coverage.entries.push_back(InaccessibleRecordEntry{key, Digest{}, {}});
   }
   for (const auto& e : vo.boxes) coverage.entries.push_back(e);
-  if (!CheckCoverage(range, coverage, error)) return false;
+  if (VerifyResult r = CheckCoverageEx(range, coverage); !r.ok()) return r;
 
-  for (const auto& e : vo.boxes) {
+  for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
+    const InaccessibleBoxEntry& e = vo.boxes[i];
     if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
-      SetError(error, "dup box APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "dup box APS signature verification failed",
+                                static_cast<std::ptrdiff_t>(i));
     }
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
+                      const Box& range, const RoleSet& user_roles,
+                      const RoleSet& universe, const DupVo& vo,
+                      std::vector<Record>* results, std::string* error) {
+  VerifyResult r = VerifyDupRangeVoEx(mvk, domain, range, user_roles, universe,
+                                      vo, results);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

@@ -19,6 +19,7 @@
 
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/verify_result.h"
 #include "core/vo.h"
 
 namespace apqa::core {
@@ -117,11 +118,18 @@ struct DupVo {
   std::vector<InaccessibleBoxEntry> boxes;
 
   std::size_t SerializedSize() const;
+  void Serialize(common::ByteWriter* w) const;
+  static DupVo Deserialize(common::ByteReader* r);
 };
 
 DupVo BuildDupRangeVo(const DupGridTree& tree, const VerifyKey& mvk,
                       const Box& range, const RoleSet& user_roles,
                       const RoleSet& universe, Rng* rng);
+
+VerifyResult VerifyDupRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                                const Box& range, const RoleSet& user_roles,
+                                const RoleSet& universe, const DupVo& vo,
+                                std::vector<Record>* results);
 
 bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
                       const Box& range, const RoleSet& user_roles,

@@ -29,55 +29,68 @@ Vo BuildEqualityVo(const GridTree& tree, const VerifyKey& mvk, const Point& key,
   return vo;
 }
 
-bool VerifyEqualityVo(const VerifyKey& mvk, const Domain& domain,
-                      const Point& key, const RoleSet& user_roles,
-                      const RoleSet& universe, const Vo& vo, Record* result,
-                      bool* accessible, std::string* error,
-                      bool exact_pairings) {
+VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
+                                const Point& key, const RoleSet& user_roles,
+                                const RoleSet& universe, const Vo& vo,
+                                Record* result, bool* accessible,
+                                bool exact_pairings) {
   if (!domain.ContainsPoint(key)) {
-    SetError(error, "query key outside domain");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query key outside domain");
   }
   if (vo.entries.size() != 1) {
-    SetError(error, "equality VO must contain exactly one entry");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kWrongEntryCount,
+                              "equality VO must contain exactly one entry");
   }
   const VoEntry& entry = vo.entries[0];
   if (const auto* res = std::get_if<ResultEntry>(&entry)) {
     if (res->key != key) {
-      SetError(error, "result key does not match query");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "result key does not match query", 0);
     }
     if (!res->policy.Evaluate(user_roles)) {
-      SetError(error, "result policy not satisfied by user roles");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                "result policy not satisfied by user roles",
+                                0);
     }
     auto msg = RecordMessage(res->key, res->value);
     if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
-      SetError(error, "APP signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "APP signature verification failed", 0);
     }
     if (result != nullptr) *result = Record{res->key, res->value, res->policy};
     if (accessible != nullptr) *accessible = true;
-    return true;
+    return VerifyResult::Ok();
   }
   if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
     if (rec->key != key) {
-      SetError(error, "inaccessible entry key does not match query");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "inaccessible entry key does not match query",
+                                0);
     }
     RoleSet lacked = SuperPolicyRoles(universe, user_roles);
     Policy super_policy = Policy::OrOfRoles(lacked);
     auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
     if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-      SetError(error, "APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "APS signature verification failed", 0);
     }
     if (accessible != nullptr) *accessible = false;
-    return true;
+    return VerifyResult::Ok();
   }
-  SetError(error, "unexpected entry type in equality VO");
-  return false;
+  return VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
+                            "unexpected entry type in equality VO", 0);
+}
+
+bool VerifyEqualityVo(const VerifyKey& mvk, const Domain& domain,
+                      const Point& key, const RoleSet& user_roles,
+                      const RoleSet& universe, const Vo& vo, Record* result,
+                      bool* accessible, std::string* error,
+                      bool exact_pairings) {
+  VerifyResult r = VerifyEqualityVoEx(mvk, domain, key, user_roles, universe,
+                                      vo, result, accessible, exact_pairings);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

@@ -99,6 +99,12 @@ std::optional<GridTree> GridTree::Deserialize(common::ByteReader* r) {
     std::uint64_t count = 1;
     for (int d = 0; d < domain.dims; ++d) count *= std::uint64_t{1} << level;
     auto& nodes = tree.levels_[level];
+    // A node costs at least a 4-byte policy length prefix plus a minimal
+    // signature on the wire; refuse to allocate more nodes than the
+    // remaining bytes could possibly encode (allocation-bomb guard).
+    if (!r->CheckCount(count, 4 + Signature::kMinSerializedSize)) {
+      return std::nullopt;
+    }
     nodes.resize(count);
     std::uint32_t cell_side = std::uint32_t{1} << (domain.bits - level);
     for (std::uint64_t i = 0; i < count; ++i) {

@@ -138,19 +138,33 @@ void JoinVo::Serialize(common::ByteWriter* w) const {
 JoinVo JoinVo::Deserialize(common::ByteReader* r) {
   JoinVo vo;
   std::uint32_t np = r->GetU32();
+  // Two entries per pair, each at least kMinVoEntryBytes on the wire.
+  if (!r->CheckCount(np, 2 * kMinVoEntryBytes)) return vo;
+  vo.pairs.reserve(np);
   for (std::uint32_t i = 0; i < np && r->ok(); ++i) {
     JoinResultPair pair;
     VoEntry er = DeserializeEntry(r);
     VoEntry es = DeserializeEntry(r);
-    if (auto* a = std::get_if<ResultEntry>(&er)) pair.r = std::move(*a);
-    if (auto* b = std::get_if<ResultEntry>(&es)) pair.s = std::move(*b);
+    auto* a = std::get_if<ResultEntry>(&er);
+    auto* b = std::get_if<ResultEntry>(&es);
+    if (a == nullptr || b == nullptr) {
+      r->MarkBad(common::WireError::kMalformed,
+                 "join pair entry is not a result entry");
+      return vo;
+    }
+    pair.r = std::move(*a);
+    pair.s = std::move(*b);
     vo.pairs.push_back(std::move(pair));
   }
   std::uint32_t nr = r->GetU32();
+  if (!r->CheckCount(nr, kMinVoEntryBytes)) return vo;
+  vo.r_aps.reserve(nr);
   for (std::uint32_t i = 0; i < nr && r->ok(); ++i) {
     vo.r_aps.push_back(DeserializeEntry(r));
   }
   std::uint32_t ns = r->GetU32();
+  if (!r->CheckCount(ns, kMinVoEntryBytes)) return vo;
+  vo.s_aps.reserve(ns);
   for (std::uint32_t i = 0; i < ns && r->ok(); ++i) {
     vo.s_aps.push_back(DeserializeEntry(r));
   }
@@ -163,39 +177,48 @@ std::size_t JoinVo::SerializedSize() const {
   return w.size();
 }
 
-bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
-                  const RoleSet& user_roles, const RoleSet& universe,
-                  const JoinVo& vo,
-                  std::vector<std::pair<Record, Record>>* results,
-                  std::string* error, bool exact_pairings) {
+VerifyResult VerifyJoinVoEx(const VerifyKey& mvk, const Domain& domain,
+                            const Box& range, const RoleSet& user_roles,
+                            const RoleSet& universe, const JoinVo& vo,
+                            std::vector<std::pair<Record, Record>>* results,
+                            bool exact_pairings) {
+  if (!range.WellFormed() ||
+      range.lo.size() != static_cast<std::size_t>(domain.dims) ||
+      !domain.FullBox().ContainsBox(range)) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range invalid for domain");
+  }
   // Completeness: pair cells plus APS regions tile the range.
   Vo coverage;
   for (const auto& p : vo.pairs) coverage.entries.push_back(p.r);
   for (const auto& e : vo.r_aps) coverage.entries.push_back(e);
   for (const auto& e : vo.s_aps) coverage.entries.push_back(e);
-  if (!CheckCoverage(range, coverage, error)) return false;
+  if (VerifyResult r = CheckCoverageEx(range, coverage); !r.ok()) return r;
 
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
 
-  for (const auto& pair : vo.pairs) {
+  for (std::size_t i = 0; i < vo.pairs.size(); ++i) {
+    const JoinResultPair& pair = vo.pairs[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (pair.r.key != pair.s.key) {
-      SetError(error, "join pair keys differ");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "join pair keys differ", idx);
     }
     if (!domain.ContainsPoint(pair.r.key) || !range.Contains(pair.r.key)) {
-      SetError(error, "join pair key outside range");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                "join pair key outside range", idx);
     }
     for (const ResultEntry* side : {&pair.r, &pair.s}) {
       if (!side->policy.Evaluate(user_roles)) {
-        SetError(error, "join pair policy not satisfied");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                  "join pair policy not satisfied", idx);
       }
       auto msg = RecordMessage(side->key, side->value);
       if (!Abs::Verify(mvk, msg, side->policy, side->app_sig, exact_pairings)) {
-        SetError(error, "join pair APP signature verification failed");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                  "join pair APP signature verification failed",
+                                  idx);
       }
     }
     if (results != nullptr) {
@@ -205,26 +228,43 @@ bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
   }
 
   for (const auto* side : {&vo.r_aps, &vo.s_aps}) {
-    for (const auto& entry : *side) {
+    for (std::size_t i = 0; i < side->size(); ++i) {
+      const VoEntry& entry = (*side)[i];
+      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
       if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
         auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
         if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-          SetError(error, "join APS record signature verification failed");
-          return false;
+          return VerifyResult::Fail(
+              VerifyCode::kBadSignature,
+              "join APS record signature verification failed", idx);
         }
       } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
         auto msg = BoxMessage(boxe->box);
         if (!Abs::Verify(mvk, msg, super_policy, boxe->aps_sig, exact_pairings)) {
-          SetError(error, "join APS box signature verification failed");
-          return false;
+          return VerifyResult::Fail(
+              VerifyCode::kBadSignature,
+              "join APS box signature verification failed", idx);
         }
       } else {
-        SetError(error, "unexpected result entry among join APS entries");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
+                                  "unexpected result entry among join APS "
+                                  "entries",
+                                  idx);
       }
     }
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
+                  const RoleSet& user_roles, const RoleSet& universe,
+                  const JoinVo& vo,
+                  std::vector<std::pair<Record, Record>>* results,
+                  std::string* error, bool exact_pairings) {
+  VerifyResult r = VerifyJoinVoEx(mvk, domain, range, user_roles, universe, vo,
+                                  results, exact_pairings);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 MultiJoinVo BuildMultiJoinVo(const std::vector<const GridTree*>& trees,
@@ -322,49 +362,58 @@ std::size_t MultiJoinVo::SerializedSize() const {
   return w.size();
 }
 
-bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
-                       const Box& range, const RoleSet& user_roles,
-                       const RoleSet& universe, std::size_t num_tables,
-                       const MultiJoinVo& vo,
-                       std::vector<std::vector<Record>>* results,
-                       std::string* error) {
+VerifyResult VerifyMultiJoinVoEx(const VerifyKey& mvk, const Domain& domain,
+                                 const Box& range, const RoleSet& user_roles,
+                                 const RoleSet& universe,
+                                 std::size_t num_tables, const MultiJoinVo& vo,
+                                 std::vector<std::vector<Record>>* results) {
+  if (!range.WellFormed() ||
+      range.lo.size() != static_cast<std::size_t>(domain.dims) ||
+      !domain.FullBox().ContainsBox(range)) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range invalid for domain");
+  }
   if (vo.aps.size() != num_tables) {
-    SetError(error, "wrong number of APS groups");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kWrongEntryCount,
+                              "wrong number of APS groups");
   }
   Vo coverage;
-  for (const auto& tuple : vo.tuples) {
-    if (tuple.size() != num_tables) {
-      SetError(error, "tuple arity mismatch");
-      return false;
+  for (std::size_t i = 0; i < vo.tuples.size(); ++i) {
+    if (vo.tuples[i].size() != num_tables) {
+      return VerifyResult::Fail(VerifyCode::kWrongEntryCount,
+                                "tuple arity mismatch",
+                                static_cast<std::ptrdiff_t>(i));
     }
-    coverage.entries.push_back(tuple[0]);
+    coverage.entries.push_back(vo.tuples[i][0]);
   }
   for (const auto& side : vo.aps) {
     for (const auto& e : side) coverage.entries.push_back(e);
   }
-  if (!CheckCoverage(range, coverage, error)) return false;
+  if (VerifyResult r = CheckCoverageEx(range, coverage); !r.ok()) return r;
 
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
-  for (const auto& tuple : vo.tuples) {
+  for (std::size_t i = 0; i < vo.tuples.size(); ++i) {
+    const auto& tuple = vo.tuples[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     for (const auto& side : tuple) {
       if (side.key != tuple[0].key) {
-        SetError(error, "tuple keys differ");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                  "tuple keys differ", idx);
       }
       if (!domain.ContainsPoint(side.key) || !range.Contains(side.key)) {
-        SetError(error, "tuple key outside range");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                  "tuple key outside range", idx);
       }
       if (!side.policy.Evaluate(user_roles)) {
-        SetError(error, "tuple policy not satisfied");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                  "tuple policy not satisfied", idx);
       }
       auto msg = RecordMessage(side.key, side.value);
       if (!Abs::Verify(mvk, msg, side.policy, side.app_sig)) {
-        SetError(error, "tuple APP signature verification failed");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                  "tuple APP signature verification failed",
+                                  idx);
       }
     }
     if (results != nullptr) {
@@ -376,26 +425,45 @@ bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
     }
   }
   for (const auto& side : vo.aps) {
-    for (const auto& entry : side) {
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      const VoEntry& entry = side[i];
+      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
       if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
         auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
         if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig)) {
-          SetError(error, "multi-join record APS verification failed");
-          return false;
+          return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                    "multi-join record APS verification "
+                                    "failed",
+                                    idx);
         }
       } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
         if (!Abs::Verify(mvk, BoxMessage(boxe->box), super_policy,
                          boxe->aps_sig)) {
-          SetError(error, "multi-join box APS verification failed");
-          return false;
+          return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                    "multi-join box APS verification failed",
+                                    idx);
         }
       } else {
-        SetError(error, "unexpected entry type in multi-join APS group");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
+                                  "unexpected entry type in multi-join APS "
+                                  "group",
+                                  idx);
       }
     }
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
+                       const Box& range, const RoleSet& user_roles,
+                       const RoleSet& universe, std::size_t num_tables,
+                       const MultiJoinVo& vo,
+                       std::vector<std::vector<Record>>* results,
+                       std::string* error) {
+  VerifyResult r = VerifyMultiJoinVoEx(mvk, domain, range, user_roles,
+                                       universe, num_tables, vo, results);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

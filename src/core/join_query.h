@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/grid_tree.h"
+#include "core/verify_result.h"
 #include "core/vo.h"
 
 namespace apqa::core {
@@ -38,6 +39,13 @@ JoinVo BuildJoinVo(const GridTree& tree_r, const GridTree& tree_s,
 
 // User side: soundness (pair keys equal, signatures valid, policies
 // satisfied) and completeness (pair cells plus APS regions tile the range).
+VerifyResult VerifyJoinVoEx(const VerifyKey& mvk, const Domain& domain,
+                            const Box& range, const RoleSet& user_roles,
+                            const RoleSet& universe, const JoinVo& vo,
+                            std::vector<std::pair<Record, Record>>* results,
+                            bool exact_pairings = false);
+
+// Legacy bool API; `error` (if not null) receives the stringified result.
 bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                   const RoleSet& user_roles, const RoleSet& universe,
                   const JoinVo& vo,
@@ -64,6 +72,12 @@ MultiJoinVo BuildMultiJoinVo(const std::vector<const GridTree*>& trees,
                              const VerifyKey& mvk, const Box& range,
                              const RoleSet& user_roles,
                              const RoleSet& universe, Rng* rng);
+
+VerifyResult VerifyMultiJoinVoEx(const VerifyKey& mvk, const Domain& domain,
+                                 const Box& range, const RoleSet& user_roles,
+                                 const RoleSet& universe,
+                                 std::size_t num_tables, const MultiJoinVo& vo,
+                                 std::vector<std::vector<Record>>* results);
 
 bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
                        const Box& range, const RoleSet& user_roles,

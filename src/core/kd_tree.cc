@@ -350,10 +350,53 @@ std::size_t KdVo::SerializedSize() const {
   return w.size();
 }
 
-bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
-                     const Box& range, const RoleSet& user_roles,
-                     const RoleSet& universe, const KdVo& vo,
-                     std::vector<Record>* results, std::string* error) {
+KdVo KdVo::Deserialize(common::ByteReader* r) {
+  KdVo vo;
+  std::uint32_t nr = r->GetU32();
+  if (!r->CheckCount(nr, kMinVoEntryBytes)) return vo;
+  vo.results.reserve(nr);
+  for (std::uint32_t i = 0; i < nr && r->ok(); ++i) {
+    KdResultEntry e;
+    e.region = ReadBox(r);
+    e.key = ReadPoint(r);
+    e.value = r->GetString();
+    e.policy = ReadPolicy(r);
+    e.app_sig = Signature::Deserialize(r);
+    vo.results.push_back(std::move(e));
+  }
+  std::uint32_t nl = r->GetU32();
+  if (!r->CheckCount(nl, kMinVoEntryBytes)) return vo;
+  vo.leaves.reserve(nl);
+  for (std::uint32_t i = 0; i < nl && r->ok(); ++i) {
+    KdInaccessibleLeafEntry e;
+    e.region = ReadBox(r);
+    e.key = ReadPoint(r);
+    r->Get(e.value_hash.data(), e.value_hash.size());
+    e.aps_sig = Signature::Deserialize(r);
+    vo.leaves.push_back(std::move(e));
+  }
+  std::uint32_t nb = r->GetU32();
+  if (!r->CheckCount(nb, kMinVoEntryBytes)) return vo;
+  vo.boxes.reserve(nb);
+  for (std::uint32_t i = 0; i < nb && r->ok(); ++i) {
+    InaccessibleBoxEntry e;
+    e.box = ReadBox(r);
+    e.aps_sig = Signature::Deserialize(r);
+    vo.boxes.push_back(std::move(e));
+  }
+  return vo;
+}
+
+VerifyResult VerifyKdRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                               const Box& range, const RoleSet& user_roles,
+                               const RoleSet& universe, const KdVo& vo,
+                               std::vector<Record>* results) {
+  if (!range.WellFormed() ||
+      range.lo.size() != static_cast<std::size_t>(domain.dims) ||
+      !domain.FullBox().ContainsBox(range)) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range invalid for domain");
+  }
   // Coverage: clip each region to the range; clipped regions must be
   // disjoint and tile the range.
   std::vector<Box> regions;
@@ -363,72 +406,90 @@ bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
   std::uint64_t covered = 0;
   for (std::size_t i = 0; i < regions.size(); ++i) {
     Box clipped = regions[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (clipped.lo.size() != range.lo.size()) {
-      SetError(error, "region dimensionality mismatch");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kDimensionMismatch,
+                                "region dimensionality mismatch", idx);
+    }
+    if (!clipped.WellFormed()) {
+      return VerifyResult::Fail(VerifyCode::kMalformedVo,
+                                "region not a well-formed box", idx);
     }
     for (std::size_t d = 0; d < clipped.lo.size(); ++d) {
       clipped.lo[d] = std::max(clipped.lo[d], range.lo[d]);
       if (clipped.hi[d] < range.lo[d] || clipped.lo[d] > range.hi[d]) {
-        SetError(error, "region outside query range");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                  "region outside query range", idx);
       }
       clipped.hi[d] = std::min(clipped.hi[d], range.hi[d]);
     }
     regions[i] = clipped;
     for (std::size_t j = 0; j < i; ++j) {
       if (regions[j].Intersects(clipped)) {
-        SetError(error, "overlapping regions");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kOverlap, "overlapping regions",
+                                  idx);
       }
     }
     covered += clipped.Volume();
   }
   if (covered != range.Volume()) {
-    SetError(error, "regions do not cover the query range");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kCoverageGap,
+                              "regions do not cover the query range");
   }
 
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
-  for (const auto& e : vo.results) {
+  for (std::size_t i = 0; i < vo.results.size(); ++i) {
+    const KdResultEntry& e = vo.results[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!domain.ContainsPoint(e.key) || !e.region.Contains(e.key)) {
-      SetError(error, "result key outside its region");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                "result key outside its region", idx);
     }
-    if (!range.Contains(e.key)) {
-      // The record itself may be outside the range if the leaf region only
-      // partially overlaps; such a record is not a result but its region
-      // still proves emptiness. Accept but do not output.
-      // (The key must still be inside the region, checked above.)
-    }
+    // A record outside the range itself is acceptable when its leaf region
+    // only partially overlaps: the region still proves emptiness, but the
+    // record is not output as a result.
     if (!e.policy.Evaluate(user_roles)) {
-      SetError(error, "result policy not satisfied");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                "result policy not satisfied", idx);
     }
     if (!abs::Abs::Verify(mvk, KdLeafMessage(e.region, e.key, e.value),
                           e.policy, e.app_sig)) {
-      SetError(error, "kd APP signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "kd APP signature verification failed", idx);
     }
     if (results != nullptr && range.Contains(e.key)) {
       results->push_back(Record{e.key, e.value, e.policy});
     }
   }
-  for (const auto& e : vo.leaves) {
+  for (std::size_t i = 0; i < vo.leaves.size(); ++i) {
+    const KdInaccessibleLeafEntry& e = vo.leaves[i];
     auto msg = KdLeafMessageFromHash(e.region, e.key, e.value_hash);
     if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      SetError(error, "kd leaf APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "kd leaf APS signature verification failed",
+                                static_cast<std::ptrdiff_t>(i));
     }
   }
-  for (const auto& e : vo.boxes) {
+  for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
+    const InaccessibleBoxEntry& e = vo.boxes[i];
     if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
-      SetError(error, "kd box APS signature verification failed");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                "kd box APS signature verification failed",
+                                static_cast<std::ptrdiff_t>(i));
     }
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
+                     const Box& range, const RoleSet& user_roles,
+                     const RoleSet& universe, const KdVo& vo,
+                     std::vector<Record>* results, std::string* error) {
+  VerifyResult r = VerifyKdRangeVoEx(mvk, domain, range, user_roles, universe,
+                                     vo, results);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

@@ -20,6 +20,7 @@
 
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/verify_result.h"
 #include "core/vo.h"
 
 namespace apqa::core {
@@ -96,6 +97,7 @@ struct KdVo {
   }
   std::size_t SerializedSize() const;
   void Serialize(common::ByteWriter* w) const;
+  static KdVo Deserialize(common::ByteReader* r);
 };
 
 // SP side: Algorithm 3 adapted to the kd structure.
@@ -104,6 +106,11 @@ KdVo BuildKdRangeVo(const KdTree& tree, const VerifyKey& mvk, const Box& range,
                     Rng* rng);
 
 // User side: soundness + completeness.
+VerifyResult VerifyKdRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                               const Box& range, const RoleSet& user_roles,
+                               const RoleSet& universe, const KdVo& vo,
+                               std::vector<Record>* results);
+
 bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
                      const Box& range, const RoleSet& user_roles,
                      const RoleSet& universe, const KdVo& vo,

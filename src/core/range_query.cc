@@ -91,43 +91,128 @@ Vo BuildRangeVoWithLacked(const GridTree& tree, const VerifyKey& mvk,
   return vo;
 }
 
-bool CheckCoverage(const Box& range, const Vo& vo, std::string* error) {
+VerifyResult CheckCoverageEx(const Box& range, const Vo& vo) {
   std::uint64_t covered = 0;
   std::vector<Box> boxes;
   boxes.reserve(vo.entries.size());
-  for (const auto& e : vo.entries) {
-    Box b = EntryRegion(e);
+  for (std::size_t i = 0; i < vo.entries.size(); ++i) {
+    Box b = EntryRegion(vo.entries[i]);
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (b.lo.size() != range.lo.size()) {
-      SetError(error, "entry region dimensionality mismatch");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kDimensionMismatch,
+                                "entry region dimensionality mismatch", idx);
+    }
+    // An inverted box would wrap Volume() and could forge the covered-cell
+    // sum, so reject before any arithmetic.
+    if (!b.WellFormed()) {
+      return VerifyResult::Fail(VerifyCode::kMalformedVo,
+                                "entry region not a well-formed box", idx);
     }
     if (!range.ContainsBox(b)) {
-      SetError(error, "entry region outside query range");
-      return false;
+      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                "entry region outside query range", idx);
     }
     for (const Box& prev : boxes) {
       if (prev.Intersects(b)) {
-        SetError(error, "overlapping entry regions");
-        return false;
+        return VerifyResult::Fail(VerifyCode::kOverlap,
+                                  "overlapping entry regions", idx);
       }
     }
     covered += b.Volume();
     boxes.push_back(b);
   }
   if (covered != range.Volume()) {
-    SetError(error, "entry regions do not cover the query range");
-    return false;
+    return VerifyResult::Fail(VerifyCode::kCoverageGap,
+                              "entry regions do not cover the query range");
   }
-  return true;
+  return VerifyResult::Ok();
+}
+
+bool CheckCoverage(const Box& range, const Vo& vo, std::string* error) {
+  VerifyResult r = CheckCoverageEx(range, vo);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
+}
+
+VerifyResult VerifyRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                             const Box& range, const RoleSet& user_roles,
+                             const RoleSet& universe, const Vo& vo,
+                             std::vector<Record>* results,
+                             bool exact_pairings) {
+  return VerifyRangeVoWithLackedEx(mvk, domain, range, user_roles,
+                                   SuperPolicyRoles(universe, user_roles), vo,
+                                   results, exact_pairings);
+}
+
+VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
+                                       const Domain& domain, const Box& range,
+                                       const RoleSet& user_roles,
+                                       const RoleSet& lacked, const Vo& vo,
+                                       std::vector<Record>* results,
+                                       bool exact_pairings) {
+  if (!range.WellFormed() ||
+      range.lo.size() != static_cast<std::size_t>(domain.dims) ||
+      !domain.FullBox().ContainsBox(range)) {
+    return VerifyResult::Fail(VerifyCode::kBadQuery,
+                              "query range invalid for domain");
+  }
+  if (VerifyResult r = CheckCoverageEx(range, vo); !r.ok()) return r;
+  Policy super_policy = Policy::OrOfRoles(lacked);
+
+  for (std::size_t i = 0; i < vo.entries.size(); ++i) {
+    const VoEntry& entry = vo.entries[i];
+    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
+    if (const auto* res = std::get_if<ResultEntry>(&entry)) {
+      if (!domain.ContainsPoint(res->key) || !range.Contains(res->key)) {
+        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                  "result key outside range", idx);
+      }
+      if (!res->policy.Evaluate(user_roles)) {
+        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                  "result policy not satisfied by user roles",
+                                  idx);
+      }
+      auto msg = RecordMessage(res->key, res->value);
+      if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
+        return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                  "APP signature verification failed", idx);
+      }
+      if (results != nullptr) {
+        results->push_back(Record{res->key, res->value, res->policy});
+      }
+    } else if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+      if (!domain.ContainsPoint(rec->key)) {
+        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                  "inaccessible record key outside domain",
+                                  idx);
+      }
+      auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
+      if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
+        return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                  "record APS signature verification failed",
+                                  idx);
+      }
+    } else {
+      const auto& boxe = std::get<InaccessibleBoxEntry>(entry);
+      auto msg = BoxMessage(boxe.box);
+      if (!Abs::Verify(mvk, msg, super_policy, boxe.aps_sig, exact_pairings)) {
+        return VerifyResult::Fail(VerifyCode::kBadSignature,
+                                  "box APS signature verification failed",
+                                  idx);
+      }
+    }
+  }
+  return VerifyResult::Ok();
 }
 
 bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                    const RoleSet& user_roles, const RoleSet& universe,
                    const Vo& vo, std::vector<Record>* results,
                    std::string* error, bool exact_pairings) {
-  return VerifyRangeVoWithLacked(mvk, domain, range, user_roles,
-                                 SuperPolicyRoles(universe, user_roles), vo,
-                                 results, error, exact_pairings);
+  VerifyResult r = VerifyRangeVoEx(mvk, domain, range, user_roles, universe,
+                                   vo, results, exact_pairings);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
@@ -135,47 +220,11 @@ bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
                              const RoleSet& lacked, const Vo& vo,
                              std::vector<Record>* results, std::string* error,
                              bool exact_pairings) {
-  if (!CheckCoverage(range, vo, error)) return false;
-  Policy super_policy = Policy::OrOfRoles(lacked);
-
-  for (const auto& entry : vo.entries) {
-    if (const auto* res = std::get_if<ResultEntry>(&entry)) {
-      if (!domain.ContainsPoint(res->key) || !range.Contains(res->key)) {
-        SetError(error, "result key outside range");
-        return false;
-      }
-      if (!res->policy.Evaluate(user_roles)) {
-        SetError(error, "result policy not satisfied by user roles");
-        return false;
-      }
-      auto msg = RecordMessage(res->key, res->value);
-      if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
-        SetError(error, "APP signature verification failed");
-        return false;
-      }
-      if (results != nullptr) {
-        results->push_back(Record{res->key, res->value, res->policy});
-      }
-    } else if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
-      if (!domain.ContainsPoint(rec->key)) {
-        SetError(error, "inaccessible record key outside domain");
-        return false;
-      }
-      auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
-      if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-        SetError(error, "record APS signature verification failed");
-        return false;
-      }
-    } else {
-      const auto& boxe = std::get<InaccessibleBoxEntry>(entry);
-      auto msg = BoxMessage(boxe.box);
-      if (!Abs::Verify(mvk, msg, super_policy, boxe.aps_sig, exact_pairings)) {
-        SetError(error, "box APS signature verification failed");
-        return false;
-      }
-    }
-  }
-  return true;
+  VerifyResult r = VerifyRangeVoWithLackedEx(mvk, domain, range, user_roles,
+                                             lacked, vo, results,
+                                             exact_pairings);
+  if (!r.ok()) SetError(error, r.ToString());
+  return r.ok();
 }
 
 }  // namespace apqa::core

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/grid_tree.h"
+#include "core/verify_result.h"
 #include "core/vo.h"
 
 namespace apqa::core {
@@ -26,15 +27,27 @@ Vo BuildRangeVoWithLacked(const GridTree& tree, const VerifyKey& mvk,
 
 // User side: soundness + completeness verification (Algorithm 3, bottom).
 // On success, appends the accessible result records to `results` (if not
-// null). On failure `error` (if not null) describes the first violated
-// check. `exact_pairings` selects per-column pairing checks instead of the
+// null). `exact_pairings` selects per-column pairing checks instead of the
 // batched verifier.
+VerifyResult VerifyRangeVoEx(const VerifyKey& mvk, const Domain& domain,
+                             const Box& range, const RoleSet& user_roles,
+                             const RoleSet& universe, const Vo& vo,
+                             std::vector<Record>* results,
+                             bool exact_pairings = false);
+
+// Variant with an explicit expected super-policy role set (§8.1).
+VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
+                                       const Domain& domain, const Box& range,
+                                       const RoleSet& user_roles,
+                                       const RoleSet& lacked, const Vo& vo,
+                                       std::vector<Record>* results,
+                                       bool exact_pairings = false);
+
+// Legacy bool APIs; `error` (if not null) receives the stringified result.
 bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                    const RoleSet& user_roles, const RoleSet& universe,
                    const Vo& vo, std::vector<Record>* results,
                    std::string* error, bool exact_pairings = false);
-
-// Variant with an explicit expected super-policy role set (§8.1).
 bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
                              const Box& range, const RoleSet& user_roles,
                              const RoleSet& lacked, const Vo& vo,
@@ -42,7 +55,9 @@ bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
                              bool exact_pairings = false);
 
 // Shared helper (also used by join verification): checks that the entry
-// regions are inside `range`, pairwise disjoint, and tile it exactly.
+// regions are well-formed, inside `range`, pairwise disjoint, and tile it
+// exactly.
+VerifyResult CheckCoverageEx(const Box& range, const Vo& vo);
 bool CheckCoverage(const Box& range, const Vo& vo, std::string* error);
 
 }  // namespace apqa::core

@@ -51,6 +51,19 @@ struct Box {
     return true;
   }
 
+  // A box read off the wire must satisfy this before any other Box method
+  // is called on it: Contains/Intersects index lo/hi without size checks,
+  // and Volume() on an inverted box wraps the u64 cell count — which would
+  // let a hostile SP forge coverage sums. Verifiers reject entries whose
+  // boxes are not well-formed.
+  bool WellFormed() const {
+    if (lo.size() != hi.size()) return false;
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      if (lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
   // Number of unit cells (assumes it fits in 64 bits).
   std::uint64_t Volume() const {
     std::uint64_t v = 1;

@@ -1,0 +1,78 @@
+#include "core/verify_result.h"
+
+namespace apqa::core {
+
+const char* VerifyCodeName(VerifyCode code) {
+  switch (code) {
+    case VerifyCode::kOk: return "ok";
+    case VerifyCode::kMalformedVo: return "malformed-vo";
+    case VerifyCode::kUnknownEntryTag: return "unknown-entry-tag";
+    case VerifyCode::kBadPolicyEncoding: return "bad-policy-encoding";
+    case VerifyCode::kPointNotOnCurve: return "point-not-on-curve";
+    case VerifyCode::kPointNotInSubgroup: return "point-not-in-subgroup";
+    case VerifyCode::kNonCanonicalEncoding: return "non-canonical-encoding";
+    case VerifyCode::kLengthOverflow: return "length-overflow";
+    case VerifyCode::kBadQuery: return "bad-query";
+    case VerifyCode::kWrongEntryCount: return "wrong-entry-count";
+    case VerifyCode::kUnexpectedEntryType: return "unexpected-entry-type";
+    case VerifyCode::kKeyMismatch: return "key-mismatch";
+    case VerifyCode::kDimensionMismatch: return "dimension-mismatch";
+    case VerifyCode::kRegionOutsideRange: return "region-outside-range";
+    case VerifyCode::kOverlap: return "overlap";
+    case VerifyCode::kCoverageGap: return "coverage-gap";
+    case VerifyCode::kDuplicateBookkeeping: return "duplicate-bookkeeping";
+    case VerifyCode::kPolicyNotSatisfied: return "policy-not-satisfied";
+    case VerifyCode::kBadSignature: return "bad-signature";
+  }
+  return "unknown";
+}
+
+VerifyResult VerifyResult::FromReader(const common::ByteReader& reader) {
+  VerifyCode code;
+  switch (reader.error()) {
+    case common::WireError::kUnknownTag:
+      code = VerifyCode::kUnknownEntryTag;
+      break;
+    case common::WireError::kBadPolicy:
+      code = VerifyCode::kBadPolicyEncoding;
+      break;
+    case common::WireError::kPointNotOnCurve:
+      code = VerifyCode::kPointNotOnCurve;
+      break;
+    case common::WireError::kPointNotInSubgroup:
+      code = VerifyCode::kPointNotInSubgroup;
+      break;
+    case common::WireError::kNonCanonical:
+      code = VerifyCode::kNonCanonicalEncoding;
+      break;
+    case common::WireError::kLengthOverflow:
+      code = VerifyCode::kLengthOverflow;
+      break;
+    case common::WireError::kNone:  // caller misuse; still report rejection
+    case common::WireError::kTruncated:
+    case common::WireError::kMalformed:
+      code = VerifyCode::kMalformedVo;
+      break;
+    default:
+      code = VerifyCode::kMalformedVo;
+      break;
+  }
+  const char* detail = reader.error_detail();
+  return Fail(code, detail != nullptr ? detail
+                                      : common::WireErrorName(reader.error()));
+}
+
+std::string VerifyResult::ToString() const {
+  std::string out = VerifyCodeName(code);
+  if (entry_index >= 0) {
+    out += " at entry ";
+    out += std::to_string(entry_index);
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace apqa::core

@@ -2,8 +2,6 @@
 
 namespace apqa::core {
 
-namespace {
-
 void WritePoint(common::ByteWriter* w, const Point& p) {
   w->PutU32(static_cast<std::uint32_t>(p.size()));
   for (auto c : p) w->PutU32(c);
@@ -12,13 +10,56 @@ void WritePoint(common::ByteWriter* w, const Point& p) {
 Point ReadPoint(common::ByteReader* r) {
   std::uint32_t n = r->GetU32();
   Point p;
-  if (n > 16) return p;  // malformed
+  if (n > 16) {
+    r->MarkBad(common::WireError::kLengthOverflow,
+               "point dimensionality exceeds cap");
+    return p;
+  }
   p.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) p.push_back(r->GetU32());
+  for (std::uint32_t i = 0; i < n && r->ok(); ++i) p.push_back(r->GetU32());
   return p;
 }
 
+void WriteBox(common::ByteWriter* w, const Box& b) {
+  WritePoint(w, b.lo);
+  WritePoint(w, b.hi);
+}
+
+Box ReadBox(common::ByteReader* r) {
+  Box b;
+  b.lo = ReadPoint(r);
+  b.hi = ReadPoint(r);
+  if (r->ok() && !b.WellFormed()) {
+    r->MarkBad(common::WireError::kMalformed, "box not well-formed");
+  }
+  return b;
+}
+
+namespace {
+
+// A policy of L leaves expands into an L-row span-program matrix whose
+// column count also grows with nesting, so a kilobyte of "a&a&..." could
+// drive a multi-megabyte allocation at verification time. 512 leaves is an
+// order of magnitude above anything the builders emit.
+constexpr std::size_t kMaxPolicyLeaves = 512;
+
 }  // namespace
+
+Policy ReadPolicy(common::ByteReader* r) {
+  std::string text = r->GetString();
+  Policy fallback = Policy::Var(kPseudoRole);
+  if (!r->ok()) return fallback;
+  auto parsed = Policy::TryParse(text);
+  if (!parsed.has_value()) {
+    r->MarkBad(common::WireError::kBadPolicy, "policy failed to parse");
+    return fallback;
+  }
+  if (parsed->Length() > kMaxPolicyLeaves) {
+    r->MarkBad(common::WireError::kBadPolicy, "policy exceeds leaf cap");
+    return fallback;
+  }
+  return std::move(*parsed);
+}
 
 Box EntryRegion(const VoEntry& entry) {
   if (const auto* res = std::get_if<ResultEntry>(&entry)) {
@@ -45,8 +86,7 @@ void SerializeEntry(common::ByteWriter* w, const VoEntry& entry) {
   } else {
     const auto& box = std::get<InaccessibleBoxEntry>(entry);
     w->PutU8(2);
-    WritePoint(w, box.box.lo);
-    WritePoint(w, box.box.hi);
+    WriteBox(w, box.box);
     box.aps_sig.Serialize(w);
   }
 }
@@ -58,9 +98,7 @@ VoEntry DeserializeEntry(common::ByteReader* r) {
       ResultEntry e;
       e.key = ReadPoint(r);
       e.value = r->GetString();
-      auto parsed = Policy::TryParse(r->GetString());
-      e.policy = parsed.has_value() ? std::move(*parsed)
-                                    : Policy::Var(kPseudoRole);
+      e.policy = ReadPolicy(r);
       e.app_sig = Signature::Deserialize(r);
       return e;
     }
@@ -71,13 +109,15 @@ VoEntry DeserializeEntry(common::ByteReader* r) {
       e.aps_sig = Signature::Deserialize(r);
       return e;
     }
-    default: {
+    case 2: {
       InaccessibleBoxEntry e;
-      e.box.lo = ReadPoint(r);
-      e.box.hi = ReadPoint(r);
+      e.box = ReadBox(r);
       e.aps_sig = Signature::Deserialize(r);
       return e;
     }
+    default:
+      r->MarkBad(common::WireError::kUnknownTag, "unknown VO entry tag");
+      return InaccessibleBoxEntry{};
   }
 }
 
@@ -89,7 +129,8 @@ void Vo::Serialize(common::ByteWriter* w) const {
 Vo Vo::Deserialize(common::ByteReader* r) {
   Vo vo;
   std::uint32_t n = r->GetU32();
-  vo.entries.reserve(std::min<std::uint32_t>(n, 1u << 20));
+  if (!r->CheckCount(n, kMinVoEntryBytes)) return vo;
+  vo.entries.reserve(n);
   for (std::uint32_t i = 0; i < n && r->ok(); ++i) {
     vo.entries.push_back(DeserializeEntry(r));
   }

@@ -46,6 +46,22 @@ using VoEntry =
 // The region of the query space that an entry accounts for.
 Box EntryRegion(const VoEntry& entry);
 
+// Conservative lower bound on the wire size of any VO entry (tag + point +
+// minimum signature). Used to clamp declared entry counts against the
+// remaining input bytes before any allocation.
+inline constexpr std::size_t kMinVoEntryBytes = 32;
+
+// Shared wire helpers, reused by the kd/dup/continuous VO serializers. The
+// readers are strict: hostile input flags the reader (never silently
+// coerces) — points are capped at 16 dimensions, boxes must be well-formed,
+// and policies must parse and stay under a length cap (a short policy
+// string can expand into a quadratically larger span-program matrix).
+void WritePoint(common::ByteWriter* w, const Point& p);
+Point ReadPoint(common::ByteReader* r);
+void WriteBox(common::ByteWriter* w, const Box& b);
+Box ReadBox(common::ByteReader* r);
+Policy ReadPolicy(common::ByteReader* r);
+
 void SerializeEntry(common::ByteWriter* w, const VoEntry& entry);
 VoEntry DeserializeEntry(common::ByteReader* r);
 

@@ -105,7 +105,12 @@ struct CurvePoint {
   // library models a data-management protocol, not a side-channel-hardened
   // production signer.
   CurvePoint ScalarMul(const Fr& k) const {
-    Limbs<4> e = k.ToCanonical();
+    return ScalarMulCanonical(k.ToCanonical());
+  }
+
+  // Same, by an arbitrary 4-limb integer that need not be reduced mod r.
+  // Needed for the subgroup membership check, which multiplies by r itself.
+  CurvePoint ScalarMulCanonical(const Limbs<4>& e) const {
     if (IsZeroLimbs<4>(e)) return Infinity();
 
     // Recode into width-4 non-adjacent form: digits in {±1, ±3, ..., ±15}.
@@ -196,6 +201,17 @@ struct CurvePoint {
     F ax, ay;
     ToAffine(&ax, &ay);
     return ay.Square() == ax.Square() * ax + b;
+  }
+
+  // Prime-order-subgroup membership: r·P = ∞. Both BLS12-381 curves have
+  // composite order h·r, and a signature forged from a small-cofactor
+  // component would survive the curve-equation check, so every point read
+  // from untrusted bytes must pass this too. Costs one scalar
+  // multiplication; a cofactor/endomorphism check (Scott 2021) would be
+  // ~2x faster if deserialization ever becomes a measured bottleneck.
+  bool InPrimeOrderSubgroup() const {
+    if (IsInfinity()) return true;
+    return ScalarMulCanonical(Fr::Modulus()).IsInfinity();
   }
 };
 

@@ -12,7 +12,12 @@ void WriteFr(common::ByteWriter* w, const Fr& v) {
 Fr ReadFr(common::ByteReader* r) {
   Limbs<4> l;
   for (auto& x : l) x = r->GetU64();
-  return Fr::FromCanonicalReduce(l);
+  if (!r->ok()) return Fr::Zero();
+  if (CompareLimbs<4>(l, Fr::Modulus()) >= 0) {
+    r->MarkBad(common::WireError::kNonCanonical, "Fr element not reduced");
+    return Fr::Zero();
+  }
+  return Fr::FromCanonical(l);
 }
 
 void WriteFp(common::ByteWriter* w, const Fp& v) {
@@ -23,7 +28,12 @@ void WriteFp(common::ByteWriter* w, const Fp& v) {
 Fp ReadFp(common::ByteReader* r) {
   Limbs<6> l;
   for (auto& x : l) x = r->GetU64();
-  return Fp::FromCanonicalReduce(l);
+  if (!r->ok()) return Fp::Zero();
+  if (CompareLimbs<6>(l, Fp::Modulus()) >= 0) {
+    r->MarkBad(common::WireError::kNonCanonical, "Fp element not reduced");
+    return Fp::Zero();
+  }
+  return Fp::FromCanonical(l);
 }
 
 void WriteG1(common::ByteWriter* w, const G1& p) {
@@ -39,13 +49,25 @@ void WriteG1(common::ByteWriter* w, const G1& p) {
 }
 
 G1 ReadG1(common::ByteReader* r) {
-  if (r->GetU8() == 0) return G1::Infinity();
+  std::uint8_t flag = r->GetU8();
+  if (flag == 0) return G1::Infinity();
+  if (flag != 1) {
+    r->MarkBad(common::WireError::kNonCanonical, "bad G1 infinity flag");
+    return G1::Infinity();
+  }
   Fp ax = ReadFp(r);
   Fp ay = ReadFp(r);
+  if (!r->ok()) return G1::Infinity();
   G1 p = G1::FromAffine(ax, ay);
-  // Reject off-curve points from untrusted input: collapse to infinity,
-  // which every signature check rejects (Y must be non-identity).
-  if (!p.OnCurve(G1CurveB())) return G1::Infinity();
+  if (!p.OnCurve(G1CurveB())) {
+    r->MarkBad(common::WireError::kPointNotOnCurve, "G1 point off curve");
+    return G1::Infinity();
+  }
+  if (!p.InPrimeOrderSubgroup()) {
+    r->MarkBad(common::WireError::kPointNotInSubgroup,
+               "G1 point outside prime-order subgroup");
+    return G1::Infinity();
+  }
   return p;
 }
 
@@ -64,11 +86,29 @@ void WriteG2(common::ByteWriter* w, const G2& p) {
 }
 
 G2 ReadG2(common::ByteReader* r) {
-  if (r->GetU8() == 0) return G2::Infinity();
-  Fp2 ax{ReadFp(r), ReadFp(r)};
-  Fp2 ay{ReadFp(r), ReadFp(r)};
+  std::uint8_t flag = r->GetU8();
+  if (flag == 0) return G2::Infinity();
+  if (flag != 1) {
+    r->MarkBad(common::WireError::kNonCanonical, "bad G2 infinity flag");
+    return G2::Infinity();
+  }
+  Fp c00 = ReadFp(r);
+  Fp c01 = ReadFp(r);
+  Fp c10 = ReadFp(r);
+  Fp c11 = ReadFp(r);
+  if (!r->ok()) return G2::Infinity();
+  Fp2 ax{c00, c01};
+  Fp2 ay{c10, c11};
   G2 p = G2::FromAffine(ax, ay);
-  if (!p.OnCurve(G2CurveB())) return G2::Infinity();
+  if (!p.OnCurve(G2CurveB())) {
+    r->MarkBad(common::WireError::kPointNotOnCurve, "G2 point off curve");
+    return G2::Infinity();
+  }
+  if (!p.InPrimeOrderSubgroup()) {
+    r->MarkBad(common::WireError::kPointNotInSubgroup,
+               "G2 point outside prime-order subgroup");
+    return G2::Infinity();
+  }
   return p;
 }
 

@@ -76,6 +76,11 @@ namespace {
 struct Parser {
   std::string_view s;
   std::size_t pos = 0;
+  int depth = 0;
+
+  // Policies arrive over the wire inside VO entries, so parsing must not be
+  // able to exhaust the stack on deeply nested "((((..." input.
+  static constexpr int kMaxDepth = 128;
 
   void SkipWs() {
     while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
@@ -112,8 +117,12 @@ struct Parser {
   Policy ParseAtom() {
     SkipWs();
     if (Eat('(')) {
+      if (++depth > kMaxDepth) {
+        throw std::invalid_argument("policy nesting too deep");
+      }
       Policy p = ParseOr();
       if (!Eat(')')) throw std::invalid_argument("expected ')'");
+      --depth;
       return p;
     }
     std::size_t start = pos;

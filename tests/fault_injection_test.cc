@@ -1,0 +1,543 @@
+// Fault-injection harness for the untrusted SP → user path.
+//
+// For each of the six query-type VOs (equality, range, join, kd, dup,
+// continuous) the harness serializes a known-good VO, then replays hundreds
+// of seeded byte-level mutations (common/mutate.h) through the full
+// deserialize + verify pipeline, asserting two invariants:
+//
+//   1. No crash: every mutation either verifies or is rejected; nothing
+//      throws, over-allocates, or trips a sanitizer (scripts/check.sh runs
+//      this suite under ASan).
+//   2. No false accept: a mutation that still verifies must yield exactly
+//      the baseline accessible result set. Anything else is a forgery.
+//
+// A structural tamper matrix then checks that *specific* corruptions map
+// to *specific* VerifyResult codes, so diagnostics stay precise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mutate.h"
+#include "core/continuous.h"
+#include "core/duplicates.h"
+#include "core/equality.h"
+#include "core/join_query.h"
+#include "core/kd_tree.h"
+#include "core/range_query.h"
+#include "crypto/serde.h"
+#include "test_hostile_points.h"
+
+namespace apqa::core {
+namespace {
+
+constexpr int kMutationsPerCase = 200;  // x6 cases >= 1000 total
+
+struct FaultEnv {
+  abs::MasterKey msk;
+  VerifyKey mvk;
+  RoleSet universe{"RoleA", "RoleB", "RoleC"};
+  RoleSet user{"RoleA"};
+  Domain grid_domain{1, 3};  // keys 0..7
+  Domain dup_domain{1, 2};   // keys 0..3
+  Box grid_range{Point{0}, Point{7}};
+  Box dup_range{Point{0}, Point{3}};
+  std::optional<GridTree> tree_r, tree_s;
+  std::optional<KdTree> kd;
+  std::optional<DupGridTree> dup;
+  std::optional<ContinuousAds> cont;
+  // Baseline VOs kept in object form for the structural tamper matrix.
+  Vo eq_vo, range_vo;
+  JoinVo join_vo;
+  KdVo kd_vo;
+  DupVo dup_vo;
+  ContinuousVo cont_vo;
+};
+
+FaultEnv* GetEnv() {
+  static FaultEnv* s = [] {
+    auto* st = new FaultEnv;
+    Rng rng(20260807);
+    abs::Abs::Setup(&rng, &st->msk, &st->mvk);
+    RoleSet all = st->universe;
+    all.insert(kPseudoRole);
+    abs::SigningKey sk = abs::Abs::KeyGen(st->msk, all, &rng);
+
+    std::vector<Record> recs_r = {
+        Record{Point{1}, "v1", Policy::Parse("RoleA")},
+        Record{Point{3}, "v3", Policy::Parse("RoleB")},
+        Record{Point{5}, "v5", Policy::Parse("RoleA | RoleC")},
+    };
+    std::vector<Record> recs_s = {
+        Record{Point{1}, "s1", Policy::Parse("RoleA")},
+        Record{Point{5}, "s5", Policy::Parse("RoleB")},
+        Record{Point{6}, "s6", Policy::Parse("RoleA")},
+    };
+    st->tree_r = GridTree::Build(st->mvk, sk, st->grid_domain, recs_r, &rng);
+    st->tree_s = GridTree::Build(st->mvk, sk, st->grid_domain, recs_s, &rng);
+    st->kd = KdTree::Build(st->mvk, sk, st->grid_domain, recs_r, &rng);
+    st->dup = DupGridTree::Build(
+        st->mvk, sk, st->dup_domain,
+        {
+            Record{Point{1}, "a", Policy::Parse("RoleA")},
+            Record{Point{1}, "b", Policy::Parse("RoleB")},
+            Record{Point{2}, "c", Policy::Parse("RoleA")},
+        },
+        &rng);
+    st->cont = ContinuousAds::Build(
+        st->mvk, sk,
+        {
+            ContinuousRecord{100, "c100", Policy::Parse("RoleA")},
+            ContinuousRecord{200, "c200", Policy::Parse("RoleB")},
+            ContinuousRecord{300, "c300", Policy::Parse("RoleA")},
+        },
+        &rng);
+
+    st->eq_vo = BuildEqualityVo(*st->tree_r, st->mvk, Point{1}, st->user,
+                                st->universe, &rng);
+    st->range_vo = BuildRangeVo(*st->tree_r, st->mvk, st->grid_range, st->user,
+                                st->universe, &rng);
+    st->join_vo = BuildJoinVo(*st->tree_r, *st->tree_s, st->mvk,
+                              st->grid_range, st->user, st->universe, &rng);
+    st->kd_vo = BuildKdRangeVo(*st->kd, st->mvk, st->grid_range, st->user,
+                               st->universe, &rng);
+    st->dup_vo = BuildDupRangeVo(*st->dup, st->mvk, st->dup_range, st->user,
+                                 st->universe, &rng);
+    st->cont_vo = BuildContinuousRangeVo(*st->cont, st->mvk, 50, 350, st->user,
+                                         st->universe, &rng);
+    return st;
+  }();
+  return s;
+}
+
+std::string CanonRecords(const std::vector<Record>& rs) {
+  std::vector<std::string> items;
+  for (const Record& r : rs) {
+    std::string s;
+    for (auto c : r.key) s += std::to_string(c) + ",";
+    items.push_back(s + ":" + r.value);
+  }
+  std::sort(items.begin(), items.end());
+  std::string out;
+  for (const auto& i : items) out += i + ";";
+  return out;
+}
+
+struct QueryCase {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  // Deserializes + verifies `buf`; on acceptance fills the canonical
+  // accessible-result string and returns true.
+  std::function<bool(const std::vector<std::uint8_t>&, std::string*)> run;
+};
+
+template <typename VoT>
+std::vector<std::uint8_t> Ser(const VoT& vo) {
+  common::ByteWriter w;
+  vo.Serialize(&w);
+  return w.data();
+}
+
+// Deserializes a VoT from buf; nullopt if the reader flags an error or
+// trailing bytes remain.
+template <typename VoT>
+std::optional<VoT> Deser(const std::vector<std::uint8_t>& buf) {
+  common::ByteReader r(buf.data(), buf.size());
+  VoT vo = VoT::Deserialize(&r);
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return vo;
+}
+
+std::vector<QueryCase>& Cases() {
+  static std::vector<QueryCase>* cases = [] {
+    FaultEnv* s = GetEnv();
+    auto* cs = new std::vector<QueryCase>;
+
+    cs->push_back({"equality", Ser(s->eq_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<Vo>(buf);
+                     if (!vo) return false;
+                     Record rec;
+                     bool acc = false;
+                     if (!VerifyEqualityVoEx(s->mvk, s->grid_domain, Point{1},
+                                             s->user, s->universe, *vo, &rec,
+                                             &acc)
+                              .ok()) {
+                       return false;
+                     }
+                     *out = acc ? "acc:" + rec.value : "inacc";
+                     return true;
+                   }});
+
+    cs->push_back({"range", Ser(s->range_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<Vo>(buf);
+                     if (!vo) return false;
+                     std::vector<Record> rs;
+                     if (!VerifyRangeVoEx(s->mvk, s->grid_domain,
+                                          s->grid_range, s->user, s->universe,
+                                          *vo, &rs)
+                              .ok()) {
+                       return false;
+                     }
+                     *out = CanonRecords(rs);
+                     return true;
+                   }});
+
+    cs->push_back({"join", Ser(s->join_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<JoinVo>(buf);
+                     if (!vo) return false;
+                     std::vector<std::pair<Record, Record>> ps;
+                     if (!VerifyJoinVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                         s->user, s->universe, *vo, &ps)
+                              .ok()) {
+                       return false;
+                     }
+                     std::vector<std::string> items;
+                     for (const auto& [r, t] : ps) {
+                       items.push_back(r.value + "|" + t.value);
+                     }
+                     std::sort(items.begin(), items.end());
+                     out->clear();
+                     for (const auto& i : items) *out += i + ";";
+                     return true;
+                   }});
+
+    cs->push_back({"kd", Ser(s->kd_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<KdVo>(buf);
+                     if (!vo) return false;
+                     std::vector<Record> rs;
+                     if (!VerifyKdRangeVoEx(s->mvk, s->grid_domain,
+                                            s->grid_range, s->user,
+                                            s->universe, *vo, &rs)
+                              .ok()) {
+                       return false;
+                     }
+                     *out = CanonRecords(rs);
+                     return true;
+                   }});
+
+    cs->push_back({"dup", Ser(s->dup_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<DupVo>(buf);
+                     if (!vo) return false;
+                     std::vector<Record> rs;
+                     if (!VerifyDupRangeVoEx(s->mvk, s->dup_domain,
+                                             s->dup_range, s->user,
+                                             s->universe, *vo, &rs)
+                              .ok()) {
+                       return false;
+                     }
+                     *out = CanonRecords(rs);
+                     return true;
+                   }});
+
+    cs->push_back({"continuous", Ser(s->cont_vo),
+                   [s](const std::vector<std::uint8_t>& buf, std::string* out) {
+                     auto vo = Deser<ContinuousVo>(buf);
+                     if (!vo) return false;
+                     std::vector<ContinuousRecord> rs;
+                     if (!VerifyContinuousRangeVoEx(s->mvk, 50, 350, s->user,
+                                                    s->universe, *vo, &rs)
+                              .ok()) {
+                       return false;
+                     }
+                     std::vector<std::string> items;
+                     for (const auto& r : rs) {
+                       items.push_back(std::to_string(r.key) + ":" + r.value);
+                     }
+                     std::sort(items.begin(), items.end());
+                     out->clear();
+                     for (const auto& i : items) *out += i + ";";
+                     return true;
+                   }});
+
+    return cs;
+  }();
+  return *cases;
+}
+
+// --- The corpus ------------------------------------------------------------
+
+TEST(FaultInjectionTest, BaselinesVerify) {
+  for (auto& qc : Cases()) {
+    std::string canon;
+    EXPECT_TRUE(qc.run(qc.bytes, &canon)) << qc.name;
+    EXPECT_FALSE(canon.empty()) << qc.name;
+  }
+}
+
+TEST(FaultInjectionTest, SeededMutationCorpusNeverForges) {
+  auto& cases = Cases();
+  int total = 0;
+  int accepted = 0;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    QueryCase& qc = cases[ci];
+    std::string baseline;
+    ASSERT_TRUE(qc.run(qc.bytes, &baseline)) << qc.name;
+    // Donor buffer from a *different* query type: splice mutations model a
+    // hostile SP answering with bytes from the wrong VO kind.
+    const auto& donor = cases[(ci + 1) % cases.size()].bytes;
+    common::MutRng rng(0xA59CA11Full ^ ci);
+    for (int i = 0; i < kMutationsPerCase; ++i) {
+      std::vector<std::uint8_t> buf = qc.bytes;
+      common::MutationKind kind = common::Mutate(&buf, &rng, &donor);
+      std::string canon;
+      if (qc.run(buf, &canon)) {
+        ++accepted;
+        EXPECT_EQ(canon, baseline)
+            << qc.name << " mutation " << i << " ("
+            << common::MutationKindName(kind)
+            << ") was accepted with a different result set";
+      }
+      ++total;
+    }
+  }
+  EXPECT_GE(total, 1000);
+  // Most mutations must actually be rejected; if nearly everything is
+  // accepted the mutator is broken, not the verifier strong.
+  EXPECT_LT(accepted, total / 2);
+}
+
+TEST(FaultInjectionTest, TruncationAtEveryBoundaryRejected) {
+  for (auto& qc : Cases()) {
+    for (std::size_t n = 0; n < qc.bytes.size(); ++n) {
+      std::vector<std::uint8_t> buf(qc.bytes.begin(), qc.bytes.begin() + n);
+      std::string canon;
+      EXPECT_FALSE(qc.run(buf, &canon)) << qc.name << " prefix " << n;
+    }
+  }
+}
+
+// --- Structural tamper matrix: specific corruption -> specific code --------
+
+TEST(TamperMatrixTest, EqualityWrongKeyIsKeyMismatch) {
+  FaultEnv* s = GetEnv();
+  VerifyResult r = VerifyEqualityVoEx(s->mvk, s->grid_domain, Point{2},
+                                      s->user, s->universe, s->eq_vo, nullptr,
+                                      nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kKeyMismatch) << r.ToString();
+}
+
+TEST(TamperMatrixTest, EqualityDuplicatedEntryIsWrongEntryCount) {
+  FaultEnv* s = GetEnv();
+  Vo vo = s->eq_vo;
+  vo.entries.push_back(vo.entries[0]);
+  VerifyResult r = VerifyEqualityVoEx(s->mvk, s->grid_domain, Point{1},
+                                      s->user, s->universe, vo, nullptr,
+                                      nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kWrongEntryCount) << r.ToString();
+}
+
+TEST(TamperMatrixTest, RangeDroppedEntryIsCoverageGap) {
+  FaultEnv* s = GetEnv();
+  Vo vo = s->range_vo;
+  ASSERT_GT(vo.entries.size(), 1u);
+  vo.entries.pop_back();
+  VerifyResult r = VerifyRangeVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                   s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kCoverageGap) << r.ToString();
+}
+
+TEST(TamperMatrixTest, RangeDuplicatedEntryIsOverlap) {
+  FaultEnv* s = GetEnv();
+  Vo vo = s->range_vo;
+  vo.entries.push_back(vo.entries[0]);
+  VerifyResult r = VerifyRangeVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                   s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kOverlap) << r.ToString();
+}
+
+TEST(TamperMatrixTest, RangeTamperedValueIsBadSignature) {
+  FaultEnv* s = GetEnv();
+  Vo vo = s->range_vo;
+  bool tampered = false;
+  for (auto& e : vo.entries) {
+    if (auto* res = std::get_if<ResultEntry>(&e)) {
+      res->value += "x";
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  VerifyResult r = VerifyRangeVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                   s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kBadSignature) << r.ToString();
+  EXPECT_GE(r.entry_index, 0);
+}
+
+TEST(TamperMatrixTest, RangeInvertedQueryIsBadQuery) {
+  FaultEnv* s = GetEnv();
+  Box inverted{Point{7}, Point{0}};
+  VerifyResult r = VerifyRangeVoEx(s->mvk, s->grid_domain, inverted, s->user,
+                                   s->universe, s->range_vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kBadQuery) << r.ToString();
+}
+
+TEST(TamperMatrixTest, JoinTamperedPairKeyIsKeyMismatch) {
+  FaultEnv* s = GetEnv();
+  JoinVo vo = s->join_vo;
+  ASSERT_FALSE(vo.pairs.empty());
+  vo.pairs[0].s.key = Point{static_cast<std::uint32_t>(
+      vo.pairs[0].s.key[0] == 0 ? 1 : vo.pairs[0].s.key[0] - 1)};
+  VerifyResult r = VerifyJoinVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                  s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kKeyMismatch) << r.ToString();
+}
+
+TEST(TamperMatrixTest, JoinDroppedPairIsCoverageGap) {
+  FaultEnv* s = GetEnv();
+  JoinVo vo = s->join_vo;
+  ASSERT_FALSE(vo.pairs.empty());
+  vo.pairs.clear();
+  VerifyResult r = VerifyJoinVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                  s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kCoverageGap) << r.ToString();
+}
+
+TEST(TamperMatrixTest, KdDroppedEntryIsCoverageGap) {
+  FaultEnv* s = GetEnv();
+  KdVo vo = s->kd_vo;
+  ASSERT_FALSE(vo.boxes.empty() && vo.leaves.empty());
+  if (!vo.boxes.empty()) {
+    vo.boxes.pop_back();
+  } else {
+    vo.leaves.pop_back();
+  }
+  VerifyResult r = VerifyKdRangeVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                     s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kCoverageGap) << r.ToString();
+}
+
+TEST(TamperMatrixTest, KdTamperedValueIsBadSignature) {
+  FaultEnv* s = GetEnv();
+  KdVo vo = s->kd_vo;
+  ASSERT_FALSE(vo.results.empty());
+  vo.results[0].value += "x";
+  VerifyResult r = VerifyKdRangeVoEx(s->mvk, s->grid_domain, s->grid_range,
+                                     s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kBadSignature) << r.ToString();
+}
+
+TEST(TamperMatrixTest, DupDroppedGroupMemberIsDuplicateBookkeeping) {
+  FaultEnv* s = GetEnv();
+  DupVo vo = s->dup_vo;
+  // Key 1 has a two-record group; user {RoleA} sees "a" as a result and "b"
+  // as inaccessible. Dropping the inaccessible half leaves the group
+  // incomplete while the accessible half still covers the key's cell, so
+  // this is bookkeeping-specific, not a coverage gap.
+  auto it = std::find_if(vo.inaccessible.begin(), vo.inaccessible.end(),
+                         [](const DupVo::DupInaccessibleEntry& e) {
+                           return e.dup_num >= 2;
+                         });
+  ASSERT_NE(it, vo.inaccessible.end());
+  vo.inaccessible.erase(it);
+  VerifyResult r = VerifyDupRangeVoEx(s->mvk, s->dup_domain, s->dup_range,
+                                      s->user, s->universe, vo, nullptr);
+  EXPECT_EQ(r.code, VerifyCode::kDuplicateBookkeeping) << r.ToString();
+}
+
+TEST(TamperMatrixTest, ContinuousInvertedQueryIsBadQuery) {
+  FaultEnv* s = GetEnv();
+  std::vector<ContinuousRecord> rs;
+  VerifyResult r = VerifyContinuousRangeVoEx(s->mvk, 350, 50, s->user,
+                                             s->universe, s->cont_vo, &rs);
+  EXPECT_EQ(r.code, VerifyCode::kBadQuery) << r.ToString();
+}
+
+TEST(TamperMatrixTest, ContinuousDroppedEntryIsGapOrMalformed) {
+  FaultEnv* s = GetEnv();
+  ContinuousVo vo = s->cont_vo;
+  ASSERT_FALSE(vo.gaps.empty());
+  vo.gaps.pop_back();
+  std::vector<ContinuousRecord> rs;
+  VerifyResult r = VerifyContinuousRangeVoEx(s->mvk, 50, 350, s->user,
+                                             s->universe, vo, &rs);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.code == VerifyCode::kCoverageGap ||
+              r.code == VerifyCode::kMalformedVo)
+      << r.ToString();
+}
+
+TEST(TamperMatrixTest, ContinuousTamperedValueIsBadSignature) {
+  FaultEnv* s = GetEnv();
+  ContinuousVo vo = s->cont_vo;
+  ASSERT_FALSE(vo.results.empty());
+  vo.results[0].value += "x";
+  std::vector<ContinuousRecord> rs;
+  VerifyResult r = VerifyContinuousRangeVoEx(s->mvk, 50, 350, s->user,
+                                             s->universe, vo, &rs);
+  EXPECT_EQ(r.code, VerifyCode::kBadSignature) << r.ToString();
+}
+
+// --- Byte-level corruptions map through VerifyResult::FromReader -----------
+
+TEST(TamperMatrixTest, UnknownEntryTagGetsDistinctCode) {
+  FaultEnv* s = GetEnv();
+  std::vector<std::uint8_t> buf = Ser(s->range_vo);
+  buf[4] = 0xee;  // first entry's tag byte follows the u32 entry count
+  common::ByteReader r(buf.data(), buf.size());
+  (void)Vo::Deserialize(&r);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kUnknownTag);
+  VerifyResult vr = VerifyResult::FromReader(r);
+  EXPECT_EQ(vr.code, VerifyCode::kUnknownEntryTag);
+}
+
+TEST(TamperMatrixTest, NonSubgroupG2InSignatureGetsDistinctCode) {
+  abs::Signature sig;  // infinity y/w, empty s — structurally valid
+  sig.p.push_back(crypto::hostile::NonSubgroupG2());
+  common::ByteWriter w;
+  sig.Serialize(&w);
+  common::ByteReader r(w.data());
+  (void)abs::Signature::Deserialize(&r);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kPointNotInSubgroup);
+  VerifyResult vr = VerifyResult::FromReader(r);
+  EXPECT_EQ(vr.code, VerifyCode::kPointNotInSubgroup);
+  // The acceptance bar: subgroup violations and tag confusion are
+  // distinguishable failure modes, not a shared "bad VO" bucket.
+  EXPECT_NE(VerifyCode::kPointNotInSubgroup, VerifyCode::kUnknownEntryTag);
+}
+
+TEST(TamperMatrixTest, GarbagePolicyGetsBadPolicyEncoding) {
+  // Hand-crafted single-entry VO whose ResultEntry carries an unparseable
+  // policy string.
+  common::ByteWriter w;
+  w.PutU32(1);  // entry count
+  w.PutU8(0);   // ResultEntry tag
+  WritePoint(&w, Point{1});
+  w.PutString("v");
+  w.PutString("((((");  // does not parse
+  abs::Signature{}.Serialize(&w);
+  common::ByteReader r(w.data());
+  (void)Vo::Deserialize(&r);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kBadPolicy);
+  VerifyResult vr = VerifyResult::FromReader(r);
+  EXPECT_EQ(vr.code, VerifyCode::kBadPolicyEncoding);
+}
+
+TEST(TamperMatrixTest, LengthInflationRejectedWithoutAllocating) {
+  FaultEnv* s = GetEnv();
+  std::vector<std::uint8_t> buf = Ser(s->range_vo);
+  // Claim ~16M entries in a few-KB buffer; CheckCount must refuse before
+  // any allocation happens.
+  buf[0] = 0xff;
+  buf[1] = 0xff;
+  buf[2] = 0xff;
+  buf[3] = 0x00;
+  common::ByteReader r(buf.data(), buf.size());
+  Vo vo = Vo::Deserialize(&r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kLengthOverflow);
+  EXPECT_TRUE(vo.entries.empty());
+}
+
+}  // namespace
+}  // namespace apqa::core

@@ -1,0 +1,99 @@
+// Fuzz target for the Vo deserialize + verify pipeline.
+//
+// Two build modes share one TestOneInput body:
+//
+//   * -DAPQA_LIBFUZZER=ON compiles with -fsanitize=fuzzer and libFuzzer
+//     drives the input generation (`./fuzz_vo_deserialize corpus/`).
+//   * By default a main() replays a deterministic seeded-mutation corpus
+//     derived from a valid range VO, so the target exercises the same code
+//     paths under plain ctest (and under ASan via scripts/check.sh) without
+//     any fuzzing infrastructure.
+//
+// The property under test is purely "no crash / no sanitizer report": the
+// pipeline must treat arbitrary bytes as a hostile SP's answer and either
+// verify or reject them, never fault. Result-set soundness is covered by
+// fault_injection_test.cc.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "common/mutate.h"
+#include "common/serde.h"
+#include "core/range_query.h"
+
+namespace {
+
+using namespace apqa;  // NOLINT: tiny fuzz driver
+
+struct FuzzContext {
+  abs::MasterKey msk;
+  core::VerifyKey mvk;
+  core::RoleSet universe{"RoleA", "RoleB"};
+  core::RoleSet user{"RoleA"};
+  core::Domain domain{1, 3};
+  core::Box range{core::Point{0}, core::Point{7}};
+  std::vector<std::uint8_t> baseline;
+};
+
+FuzzContext* Context() {
+  static FuzzContext* ctx = [] {
+    auto* c = new FuzzContext;
+    core::Rng rng(0xF022);
+    abs::Abs::Setup(&rng, &c->msk, &c->mvk);
+    core::RoleSet all = c->universe;
+    all.insert(core::kPseudoRole);
+    abs::SigningKey sk = abs::Abs::KeyGen(c->msk, all, &rng);
+    core::GridTree tree = core::GridTree::Build(
+        c->mvk, sk, c->domain,
+        {
+            core::Record{core::Point{2}, "v2", core::Policy::Parse("RoleA")},
+            core::Record{core::Point{6}, "v6", core::Policy::Parse("RoleB")},
+        },
+        &rng);
+    core::Vo vo = core::BuildRangeVo(tree, c->mvk, c->range, c->user,
+                                     c->universe, &rng);
+    common::ByteWriter w;
+    vo.Serialize(&w);
+    c->baseline = w.data();
+    return c;
+  }();
+  return ctx;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzContext* c = Context();
+  common::ByteReader r(data, size);
+  core::Vo vo = core::Vo::Deserialize(&r);
+  if (!r.ok() || !r.AtEnd()) return 0;
+  std::vector<core::Record> results;
+  (void)core::VerifyRangeVoEx(c->mvk, c->domain, c->range, c->user,
+                              c->universe, vo, &results);
+  return 0;
+}
+
+#ifndef APQA_USE_LIBFUZZER
+int main() {
+  FuzzContext* c = Context();
+  // The untouched baseline plus a seeded mutation sweep; every input must
+  // come back without a crash.
+  LLVMFuzzerTestOneInput(c->baseline.data(), c->baseline.size());
+  common::MutRng rng(0xC0FFEE);
+  constexpr int kIterations = 2000;
+  for (int i = 0; i < kIterations; ++i) {
+    std::vector<std::uint8_t> buf = c->baseline;
+    // Stack up to three mutations so inputs drift further from valid
+    // encodings than the single-step fault-injection corpus.
+    int steps = 1 + static_cast<int>(rng.Below(3));
+    for (int s = 0; s < steps; ++s) common::Mutate(&buf, &rng, &c->baseline);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+  std::printf("fuzz_vo_deserialize: %d corpus inputs, no crashes\n",
+              kIterations + 1);
+  return 0;
+}
+#endif

@@ -6,6 +6,7 @@
 #include "crypto/rng.h"
 #include "crypto/pairing.h"
 #include "crypto/serde.h"
+#include "test_hostile_points.h"
 
 namespace apqa {
 namespace {
@@ -95,6 +96,97 @@ TEST(GroupSerdeTest, HashToFrDeterministicAndDomainSeparated) {
   EXPECT_EQ(crypto::HashToFr("abc"), crypto::HashToFr("abc"));
   EXPECT_NE(crypto::HashToFr("abc"), crypto::HashToFr("abd"));
   EXPECT_NE(crypto::HashToFr(""), crypto::HashToFr("x"));
+}
+
+// --- Hostile-input rejection ----------------------------------------------
+//
+// Every reader on the untrusted path must flag precise WireErrors rather
+// than silently coercing bad bytes into some valid-looking element.
+
+TEST(HostileSerdeTest, NonCanonicalFrRejected) {
+  std::vector<std::uint8_t> buf(32, 0xff);  // 2^256 - 1 >= r
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_TRUE(crypto::ReadFr(&r).IsZero());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kNonCanonical);
+}
+
+TEST(HostileSerdeTest, NonCanonicalFpRejected) {
+  std::vector<std::uint8_t> buf(48, 0xff);
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_TRUE(crypto::ReadFp(&r).IsZero());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kNonCanonical);
+}
+
+TEST(HostileSerdeTest, BadInfinityFlagRejected) {
+  ByteWriter w;
+  w.PutU8(2);  // only 0 (infinity) and 1 (affine) are legal
+  ByteReader r(w.data());
+  EXPECT_TRUE(crypto::ReadG1(&r).IsInfinity());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kNonCanonical);
+}
+
+TEST(HostileSerdeTest, OffCurveG1Rejected) {
+  crypto::Rng rng(6);
+  crypto::G1 p = crypto::G1Mul(rng.NextNonZeroFr());
+  crypto::Fp ax, ay;
+  p.ToAffine(&ax, &ay);
+  ByteWriter w;
+  w.PutU8(1);
+  crypto::WriteFp(&w, ax);
+  crypto::WriteFp(&w, ay + crypto::Fp::One());  // y' != ±y: off curve
+  ByteReader r(w.data());
+  EXPECT_TRUE(crypto::ReadG1(&r).IsInfinity());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kPointNotOnCurve);
+}
+
+TEST(HostileSerdeTest, NonSubgroupG1Rejected) {
+  crypto::G1 p = crypto::hostile::NonSubgroupG1();
+  ASSERT_TRUE(p.OnCurve(crypto::G1CurveB()));
+  ASSERT_FALSE(p.InPrimeOrderSubgroup());
+  crypto::Fp ax, ay;
+  p.ToAffine(&ax, &ay);
+  ByteWriter w;
+  w.PutU8(1);
+  crypto::WriteFp(&w, ax);
+  crypto::WriteFp(&w, ay);
+  ByteReader r(w.data());
+  EXPECT_TRUE(crypto::ReadG1(&r).IsInfinity());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kPointNotInSubgroup);
+}
+
+TEST(HostileSerdeTest, NonSubgroupG2Rejected) {
+  crypto::G2 p = crypto::hostile::NonSubgroupG2();
+  ASSERT_TRUE(p.OnCurve(crypto::G2CurveB()));
+  ASSERT_FALSE(p.InPrimeOrderSubgroup());
+  crypto::Fp2 ax, ay;
+  p.ToAffine(&ax, &ay);
+  ByteWriter w;
+  w.PutU8(1);
+  crypto::WriteFp(&w, ax.c0);
+  crypto::WriteFp(&w, ax.c1);
+  crypto::WriteFp(&w, ay.c0);
+  crypto::WriteFp(&w, ay.c1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(crypto::ReadG2(&r).IsInfinity());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), common::WireError::kPointNotInSubgroup);
+}
+
+TEST(HostileSerdeTest, TruncatedG2AtEveryBoundaryFlagsError) {
+  crypto::Rng rng(7);
+  crypto::G2 p = crypto::G2Mul(rng.NextNonZeroFr());
+  ByteWriter w;
+  crypto::WriteG2(&w, p);
+  for (std::size_t n = 0; n < w.size(); ++n) {
+    ByteReader r(w.data().data(), n);
+    crypto::ReadG2(&r);
+    EXPECT_FALSE(r.ok()) << "prefix length " << n;
+  }
 }
 
 TEST(GroupSerdeTest, SerializationIsCanonical) {

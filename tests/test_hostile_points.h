@@ -1,0 +1,93 @@
+// Constructors for hostile curve points used by deserialization-rejection
+// and fault-injection tests: points that satisfy the curve equation but lie
+// OUTSIDE the prime-order subgroup. Both BLS12-381 curves have composite
+// order h·r (cofactor h ≈ 2^125 for G1, ≈ 2^250 for G2), so such points
+// exist in abundance; a verifier that only checks the curve equation will
+// happily run pairings on them, which is exactly the small-subgroup
+// confusion these tests lock out.
+#ifndef APQA_TESTS_TEST_HOSTILE_POINTS_H_
+#define APQA_TESTS_TEST_HOSTILE_POINTS_H_
+
+#include <span>
+
+#include "crypto/curve.h"
+
+namespace apqa::crypto::hostile {
+
+// Square root in Fp. BLS12-381's p ≡ 3 (mod 4), so a^((p+1)/4) is a root
+// exactly when one exists; returns false for non-residues.
+inline bool FpSqrt(const Fp& a, Fp* out) {
+  Limbs<6> e = Fp::Modulus();
+  Limbs<6> one{};
+  one[0] = 1;
+  AddLimbs<6>(e, one, &e);  // p + 1; p < 2^381, no carry out
+  Shr1Limbs<6>(&e);
+  Shr1Limbs<6>(&e);  // (p+1)/4
+  Fp cand = a.Pow(std::span<const u64>(e.data(), e.size()));
+  if (cand.Square() != a) return false;
+  *out = cand;
+  return true;
+}
+
+// Square root in Fp2 = Fp[i]/(i^2+1) via the norm map: for a = a0 + a1·i,
+// N(a) = a0^2 + a1^2 and sqrt(a) = x0 + x1·i with x0^2 = (a0 ± sqrt(N))/2,
+// x1 = a1 / (2·x0). Returns false for non-residues.
+inline bool Fp2Sqrt(const Fp2& a, Fp2* out) {
+  if (a.c1.IsZero()) {
+    Fp r;
+    if (FpSqrt(a.c0, &r)) {
+      *out = {r, Fp::Zero()};
+      return true;
+    }
+    if (FpSqrt(-a.c0, &r)) {
+      *out = {Fp::Zero(), r};  // (r·i)^2 = -r^2 = a0
+      return true;
+    }
+    return false;
+  }
+  Fp sigma;
+  if (!FpSqrt(a.c0.Square() + a.c1.Square(), &sigma)) return false;
+  Fp half = (Fp::One() + Fp::One()).Inverse();
+  Fp x0;
+  if (!FpSqrt((a.c0 + sigma) * half, &x0)) {
+    if (!FpSqrt((a.c0 - sigma) * half, &x0)) return false;
+  }
+  if (x0.IsZero()) return false;
+  Fp x1 = a.c1 * half * x0.Inverse();
+  Fp2 cand{x0, x1};
+  if (cand.Square() != a) return false;
+  *out = cand;
+  return true;
+}
+
+// First curve point at small x that is NOT in the r-torsion. A uniform
+// curve point lands in the prime-order subgroup with probability 1/h
+// (≈ 2^-125), so the very first liftable x essentially always works; the
+// explicit InPrimeOrderSubgroup filter makes it deterministic regardless.
+inline G1 NonSubgroupG1() {
+  for (u64 xi = 1;; ++xi) {
+    Limbs<6> l{};
+    l[0] = xi;
+    Fp x = Fp::FromCanonical(l);
+    Fp y;
+    if (!FpSqrt(x.Square() * x + G1CurveB(), &y)) continue;
+    G1 p = G1::FromAffine(x, y);
+    if (!p.InPrimeOrderSubgroup()) return p;
+  }
+}
+
+inline G2 NonSubgroupG2() {
+  for (u64 xi = 1;; ++xi) {
+    Limbs<6> l{};
+    l[0] = xi;
+    Fp2 x{Fp::FromCanonical(l), Fp::Zero()};
+    Fp2 y;
+    if (!Fp2Sqrt(x.Square() * x + G2CurveB(), &y)) continue;
+    G2 p = G2::FromAffine(x, y);
+    if (!p.InPrimeOrderSubgroup()) return p;
+  }
+}
+
+}  // namespace apqa::crypto::hostile
+
+#endif  // APQA_TESTS_TEST_HOSTILE_POINTS_H_
