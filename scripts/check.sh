@@ -1,36 +1,67 @@
 #!/usr/bin/env bash
-# Full local check: regular build + ctest, then a UBSan build of the crypto
-# stack (curve / msm / pairing / abs tests run directly; field arithmetic is
-# where unsigned-overflow-adjacent bugs would hide), then an ASan build of
-# the fault-injection suite (hostile-bytes handling is where heap bugs would
-# hide).
+# Full local check:
 #
-# Usage: scripts/check.sh [--skip-sanitize]
+#   1. repo lint (scripts/lint.py): secret-handling / hostile-input rules
+#   2. Release build with -Werror + full ctest
+#   3. clang-format diff + clang-tidy on the crypto layer (skipped with a
+#      notice when the clang tools are not installed — the default
+#      toolchain here is GCC)
+#   4. UBSan build of the crypto stack (curve / msm / pairing / abs / ct)
+#   5. ASan build of the hostile-bytes suite (serde / fault injection / fuzz)
+#   6. TSan build of the thread pool and the parallel SP/ADS paths
+#   7. MSan constant-time oracle (tests/ct_check_test.cc with poisoned
+#      secrets) — clang-only; skipped with a notice under GCC, where the
+#      trace-equivalence tests in ct_check_test (already run in step 2)
+#      cover the same ladders
+#
+# Usage: scripts/check.sh [--quick|--skip-sanitize]
+#   --quick          lint + Release build + ctest only
+#   --skip-sanitize  like --quick, kept for compatibility
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SKIP_SANITIZE=0
-[[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
+QUICK=0
+case "${1:-}" in
+  --quick|--skip-sanitize) QUICK=1 ;;
+esac
+
+echo "=== lint ==="
+python3 scripts/lint.py
 
 echo "=== build (Release) ==="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DAPQA_WERROR=ON >/dev/null
 cmake --build build -j
 
 echo "=== ctest ==="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "=== sanitizer pass skipped ==="
+if [[ "$QUICK" == 1 ]]; then
+  echo "=== quick mode: sanitizer and clang-tool stages skipped ==="
   exit 0
+fi
+
+echo "=== clang-format / clang-tidy ==="
+if command -v clang-format >/dev/null 2>&1; then
+  # Diff-only: fails if the tree is not formatted.
+  find src tests bench -name '*.cc' -o -name '*.h' | \
+    xargs clang-format --dry-run -Werror
+else
+  echo "clang-format not installed; skipping format check"
+fi
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p build --quiet src/crypto/*.cc src/abs/*.cc src/cpabe/*.cc
+else
+  echo "clang-tidy not installed; skipping tidy pass"
 fi
 
 echo "=== build (UBSan) ==="
 cmake -B build-ubsan -S . -DAPQA_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j --target \
-  curve_test msm_test pairing_test abs_test
+  curve_test msm_test pairing_test abs_test ct_check_test
 
 echo "=== crypto tests under UBSan ==="
-for t in curve_test msm_test pairing_test abs_test; do
+for t in curve_test msm_test pairing_test abs_test ct_check_test; do
   echo "--- $t ---"
   ./build-ubsan/tests/"$t" --gtest_brief=1
 done
@@ -44,5 +75,26 @@ echo "=== hostile-input tests under ASan ==="
 ./build-asan/tests/serde_test --gtest_brief=1
 ./build-asan/tests/fault_injection_test --gtest_brief=1
 ./build-asan/tests/fuzz_vo_deserialize
+
+echo "=== build (TSan) ==="
+cmake -B build-tsan -S . -DAPQA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target thread_pool_test core_test
+
+echo "=== threaded paths under TSan ==="
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/thread_pool_test \
+  --gtest_brief=1
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/core_test \
+  --gtest_filter='ParallelPathTest.*' --gtest_brief=1
+
+echo "=== constant-time oracle (MSan) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-msan -S . -DAPQA_SANITIZE=memory \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-msan -j --target ct_check_test
+  ./build-msan/tests/ct_check_test --gtest_brief=1
+else
+  echo "clang++ not installed; MSan CtPoison oracle skipped" \
+       "(trace-equivalence tests in ct_check_test already ran)"
+fi
 
 echo "=== all checks passed ==="

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Repo lint: secret-handling and hostile-input discipline for src/.
+
+Rules (each can name an allowlist of files where the construct is the
+implementation itself, not a violation):
+
+  R1  no libc randomness (rand/srand/random/rand_r) — all randomness goes
+      through crypto::Rng (ChaCha20, /dev/urandom-seeded).
+  R2  no memcmp/bcmp in the crypto/abs/cpabe layers — byte comparisons on
+      key or MAC material early-exit; use crypto::CtEqBytes / CtEq.
+  R3  no assert() on request-path code — SP-supplied bytes must fail
+      gracefully (ByteReader::ok()), not abort in release builds where
+      NDEBUG strips the check entirely.
+  R4  reinterpret_cast only inside the ByteReader/Writer implementation and
+      the urandom seed read — everywhere else it is a sign that SP-supplied
+      bytes are being reinterpreted without bounds discipline.
+  R5  no naked new/delete — containers and smart pointers only.
+  R6  Secret<T>::Declassify() call sites carry a `// declassify:` reason on
+      the same or the preceding line, so `--list-declassify` is a complete
+      audit of every point where taint leaves the type system.
+  R7  Secret<T>::ct_ref() only in src/crypto/ — it hands the raw value to
+      the constant-pattern kernels and must not leak into protocol code.
+
+Usage:
+  scripts/lint.py                  lint src/ (exit 1 on violations)
+  scripts/lint.py --list-declassify   print the declassification audit table
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+# (rule id, regex, message, allowlist of repo-relative files, path prefix
+# restricting where the rule applies; None = all of src/)
+RULES = [
+    ("R1", re.compile(r"\b(?:s?rand|random|rand_r)\s*\("),
+     "libc randomness; use crypto::Rng", [], None),
+    ("R2", re.compile(r"\b(?:memcmp|bcmp)\s*\("),
+     "early-exit compare on potential key material; use crypto::CtEqBytes",
+     [], ("src/crypto/", "src/abs/", "src/cpabe/")),
+    ("R3", re.compile(r"\bassert\s*\("),
+     "assert() on request-path code; signal failure via return values", [],
+     None),
+    ("R4", re.compile(r"\breinterpret_cast\s*<"),
+     "reinterpret_cast outside the serialization boundary",
+     ["src/common/serde.h", "src/crypto/rng.cc"], None),
+    ("R5", re.compile(r"(?:^|[^_\w.])(?:new\s+[A-Za-z_:][\w:<>]*\s*[({[]|"
+                      r"delete\s*(?:\[\s*\])?\s+[A-Za-z_])"),
+     "naked new/delete; use containers or smart pointers", [], None),
+    ("R7", re.compile(r"\.ct_ref\s*\(\)"),
+     "ct_ref() outside src/crypto/ — the raw secret value must stay inside "
+     "the constant-pattern kernels",
+     [], None),
+]
+
+DECLASSIFY = re.compile(r"\.Declassify\s*\(\)")
+DECLASSIFY_REASON = re.compile(r"//\s*declassify:")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and string/char literal contents (keeps quotes)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def source_files(roots):
+    for root in roots:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_file(path, violations, declassify_sites):
+    rel = os.path.relpath(path, REPO)
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    prev_raw = ""
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for rule, pattern, message, allow, prefixes in RULES:
+            if rel in allow:
+                continue
+            if prefixes is not None and not rel.startswith(prefixes):
+                continue
+            if rule == "R7" and rel.startswith("src/crypto/"):
+                continue
+            if pattern.search(code):
+                violations.append((rel, lineno, rule, message, raw.strip()))
+        if DECLASSIFY.search(code):
+            justified = bool(
+                DECLASSIFY_REASON.search(raw)
+                or DECLASSIFY_REASON.search(prev_raw))
+            declassify_sites.append((rel, lineno, raw.strip(), justified))
+        prev_raw = raw
+
+
+def main(argv):
+    list_mode = "--list-declassify" in argv
+    violations = []
+    declassify_sites = []
+    for path in source_files([SRC]):
+        lint_file(path, violations, declassify_sites)
+
+    if list_mode:
+        print("# Declassification audit (src/)")
+        if not declassify_sites:
+            print("no Declassify() call sites")
+        for rel, lineno, text, justified in declassify_sites:
+            mark = "ok " if justified else "BAD"
+            print(f"{mark} {rel}:{lineno}: {text}")
+        return 0
+
+    failed = False
+    for rel, lineno, rule, message, text in violations:
+        print(f"{rel}:{lineno}: [{rule}] {message}\n    {text}",
+              file=sys.stderr)
+        failed = True
+    for rel, lineno, text, justified in declassify_sites:
+        if not justified:
+            print(
+                f"{rel}:{lineno}: [R6] Declassify() without a "
+                f"'// declassify: <reason>' comment\n    {text}",
+                file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print(f"lint: OK ({sum(1 for _ in source_files([SRC]))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,11 +29,12 @@ G1 MessageBase(const VerifyKey& mvk, const Fr& mu) {
   return mvk.c + mvk.precomp().g_tab.Mul(mu);
 }
 
-// Table-backed multiply with a fallback for keys assembled by hand (tests,
-// deserialization paths) whose tables were never built.
-G1 MulByTable(const crypto::FixedBaseTable<crypto::Fp>& tab, const G1& base,
-              const Fr& k) {
-  return tab.Initialized() ? tab.Mul(k) : base.ScalarMul(k);
+// Table-backed constant-pattern multiply with a fallback for keys assembled
+// by hand (tests, deserialization paths) whose tables were never built. The
+// scalar is a blinding secret, so both paths are constant-pattern ladders.
+G1 MulCtByTable(const crypto::FixedBaseTable<crypto::Fp>& tab, const G1& base,
+                const SecretFr& k) {
+  return tab.Initialized() ? tab.MulCt(k) : crypto::CtScalarMul(base, k);
 }
 
 }  // namespace
@@ -133,35 +134,38 @@ Signature Signature::Deserialize(common::ByteReader* r) {
 }
 
 std::size_t Signature::SerializedSize() const {
-  common::ByteWriter w;
-  Serialize(&w);
-  return w.size();
+  common::ByteWriter bw;
+  Serialize(&bw);
+  return bw.size();
 }
 
 void Abs::Setup(Rng* rng, MasterKey* msk, VerifyKey* mvk) {
-  msk->a0 = rng->NextNonZeroFr();
-  msk->a = rng->NextNonZeroFr();
-  msk->b = rng->NextNonZeroFr();
-  mvk->g = crypto::G1Mul(rng->NextNonZeroFr());
-  mvk->c = crypto::G1Mul(rng->NextNonZeroFr());
-  mvk->h0 = crypto::G2Mul(rng->NextNonZeroFr());
-  mvk->h = crypto::G2Mul(rng->NextNonZeroFr());
-  mvk->a0 = mvk->h0.ScalarMul(msk->a0);
-  mvk->a = mvk->h.ScalarMul(msk->a);
-  mvk->b = mvk->h.ScalarMul(msk->b);
+  // The ephemeral discrete logs of g/c/h0/h are never stored, but knowing
+  // one would break soundness, so they take the constant-pattern generator
+  // path too.
+  msk->a0 = rng->NextNonZeroSecretFr();
+  msk->a = rng->NextNonZeroSecretFr();
+  msk->b = rng->NextNonZeroSecretFr();
+  mvk->g = crypto::CtG1Mul(rng->NextNonZeroSecretFr());
+  mvk->c = crypto::CtG1Mul(rng->NextNonZeroSecretFr());
+  mvk->h0 = crypto::CtG2Mul(rng->NextNonZeroSecretFr());
+  mvk->h = crypto::CtG2Mul(rng->NextNonZeroSecretFr());
+  mvk->a0 = crypto::CtScalarMul(mvk->h0, msk->a0);
+  mvk->a = crypto::CtScalarMul(mvk->h, msk->a);
+  mvk->b = crypto::CtScalarMul(mvk->h, msk->b);
   mvk->precomp();  // warm the fixed-base tables while setup owns the key
 }
 
 SigningKey Abs::KeyGen(const MasterKey& msk, const RoleSet& attrs, Rng* rng) {
   SigningKey sk;
-  sk.k_base = crypto::G1Mul(rng->NextNonZeroFr());
+  sk.k_base = crypto::CtG1Mul(rng->NextNonZeroSecretFr());
   sk.k_base_tab = crypto::FixedBaseTable<crypto::Fp>(sk.k_base);
-  sk.k0 = sk.k_base_tab.Mul(msk.a0.Inverse());
+  sk.k0 = sk.k_base_tab.MulCt(crypto::CtInverse(msk.a0));
   sk.k0_tab = crypto::FixedBaseTable<crypto::Fp>(sk.k0);
   for (const auto& role : attrs) {
     Fr u = RoleScalar(role);
-    Fr exp = (msk.a + msk.b * u).Inverse();
-    sk.k_attr[role] = sk.k_base_tab.Mul(exp);
+    SecretFr exp = crypto::CtInverse(msk.a + msk.b * u);
+    sk.k_attr[role] = sk.k_base_tab.MulCt(exp);
   }
   return sk;
 }
@@ -180,26 +184,29 @@ std::optional<Signature> Abs::Sign(const VerifyKey& mvk, const SigningKey& sk,
   Fr mu = MessageScalar(sig.tau, msg);
   const VerifyKey::Precomp& pc = mvk.precomp();
 
-  Fr r0 = rng->NextNonZeroFr();
-  sig.y = MulByTable(sk.k_base_tab, sk.k_base, r0);
-  sig.w = MulByTable(sk.k0_tab, sk.k0, r0);
+  SecretFr r0 = rng->NextNonZeroSecretFr();
+  sig.y = MulCtByTable(sk.k_base_tab, sk.k_base, r0);
+  sig.w = MulCtByTable(sk.k0_tab, sk.k0, r0);
 
   std::size_t rows = msp.Rows(), cols = msp.Cols();
-  std::vector<Fr> ri(rows);
-  for (auto& r : ri) r = rng->NextNonZeroFr();
+  std::vector<SecretFr> ri(rows);
+  for (auto& r : ri) r = rng->NextNonZeroSecretFr();
 
   sig.s.resize(rows);
   std::vector<G2> ti(rows);  // (A * B^{u_i})^{r_i}
   for (std::size_t i = 0; i < rows; ++i) {
     // (C g^mu)^{r_i} and (A B^{u_i})^{r_i}, each split over the fixed-base
-    // tables of the key components instead of a fresh variable-base mul.
-    G1 si = pc.c_tab.Mul(ri[i]) + pc.g_tab.Mul(mu * ri[i]);
+    // tables of the key components; blinding scalars stay on the
+    // constant-pattern ladder throughout. The (*v)[i] branch itself is
+    // quarantined: it reveals which owned attributes satisfy the predicate
+    // (an attribute-usage pattern), not key material — see DESIGN.md.
+    G1 si = pc.c_tab.MulCt(ri[i]) + pc.g_tab.MulCt(mu * ri[i]);
     if ((*v)[i] != 0) {
-      si = si + sk.k_attr.at(msp.row_labels[i]).ScalarMul(r0);
+      si = si + crypto::CtScalarMul(sk.k_attr.at(msp.row_labels[i]), r0);
     }
     sig.s[i] = si;
     Fr ui = RoleScalar(msp.row_labels[i]);
-    ti[i] = pc.a_tab.Mul(ri[i]) + pc.b_tab.Mul(ui * ri[i]);
+    ti[i] = pc.a_tab.MulCt(ri[i]) + pc.b_tab.MulCt(ui * ri[i]);
   }
 
   sig.p.assign(cols, G2::Infinity());
@@ -252,7 +259,11 @@ bool Abs::Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
   }
 
   // Batched verification: fold the W-equation (weight delta) and all t
-  // column equations (weights rho_j) into a single pairing product.
+  // column equations (weights rho_j) into a single pairing product. The
+  // batching weights stay plain Fr (variable-time folds): they are drawn
+  // fresh after the signature is fixed and protect only this call's
+  // soundness, so leaking them post-hoc is harmless — quarantined in
+  // DESIGN.md.
   Rng rng;  // fresh OS-seeded randomness for the batching weights
   Fr delta = rng.NextNonZeroFr();
   std::vector<Fr> rho(cols);
@@ -323,22 +334,24 @@ std::optional<Signature> Abs::Relax(const VerifyKey& mvk, const Signature& sig,
       }
     }
     if (!found) {
-      Fr r = rng->NextNonZeroFr();
+      SecretFr r = rng->NextNonZeroSecretFr();
       // (C g^mu)^r and (A B^u)^r via the key-component tables.
-      merged = pc.c_tab.Mul(r) + pc.g_tab.Mul(mu * r);
+      merged = pc.c_tab.MulCt(r) + pc.g_tab.MulCt(mu * r);
       Fr u = RoleScalar(role);
-      p1 = p1 + pc.a_tab.Mul(r) + pc.b_tab.Mul(u * r);
+      p1 = p1 + pc.a_tab.MulCt(r) + pc.b_tab.MulCt(u * r);
     }
     out.s.push_back(merged);
   }
 
   // Step 4: re-randomize so the output is distributed like a fresh
-  // signature on the relaxed predicate.
-  Fr rho = rng->NextNonZeroFr();
-  out.y = out.y.ScalarMul(rho);
-  out.w = out.w.ScalarMul(rho);
-  for (G1& si : out.s) si = si.ScalarMul(rho);
-  out.p = {p1.ScalarMul(rho)};
+  // signature on the relaxed predicate. Leaking rho would link the APS
+  // signature back to the APP original, so the re-randomization stays on
+  // the constant-pattern ladder.
+  SecretFr rho = rng->NextNonZeroSecretFr();
+  out.y = crypto::CtScalarMul(out.y, rho);
+  out.w = crypto::CtScalarMul(out.w, rho);
+  for (G1& si : out.s) si = crypto::CtScalarMul(si, rho);
+  out.p = {crypto::CtScalarMul(p1, rho)};
   return out;
 }
 

@@ -31,6 +31,7 @@ using crypto::Fr;
 using crypto::G1;
 using crypto::G2;
 using crypto::Rng;
+using crypto::SecretFr;
 using policy::Policy;
 using policy::RoleSet;
 
@@ -64,9 +65,12 @@ struct VerifyKey {
   mutable std::shared_ptr<const Precomp> precomp_;
 };
 
-// Master signing key msk = (a0, a, b).
+// Master signing key msk = (a0, a, b). The scalars are taint-typed: they
+// can be combined arithmetically and fed to the constant-pattern ladders
+// (MulCt / CtScalarMul / CtInverse), but passing one to a variable-time
+// scalar path is a compile error without an explicit Declassify().
 struct MasterKey {
-  Fr a0, a, b;
+  SecretFr a0, a, b;
 };
 
 // Per-attribute-set signing key.

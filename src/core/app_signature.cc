@@ -1,5 +1,7 @@
 #include "core/app_signature.h"
 
+#include <algorithm>
+
 namespace apqa::core {
 
 using crypto::Sha256;
@@ -32,8 +34,11 @@ std::vector<std::uint8_t> RecordMessageFromHash(const Point& key,
                                                 const Digest& value_hash) {
   std::vector<std::uint8_t> enc = EncodeKey(key);
   Digest key_hash = Sha256::Hash(enc.data(), enc.size());
-  std::vector<std::uint8_t> msg(key_hash.begin(), key_hash.end());
-  msg.insert(msg.end(), value_hash.begin(), value_hash.end());
+  // Sized up front; insert()'s reallocation path trips a GCC 12
+  // -Warray-bounds false positive on the fixed-size Digest source.
+  std::vector<std::uint8_t> msg(key_hash.size() + value_hash.size());
+  auto mid = std::copy(key_hash.begin(), key_hash.end(), msg.begin());
+  std::copy(value_hash.begin(), value_hash.end(), mid);
   return msg;
 }
 

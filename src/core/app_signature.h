@@ -5,6 +5,11 @@
 //      ABS.Sign(sk_DO, hash(gb), p) for AP²G-tree nodes.
 // APS: the relaxation of an APP signature to the querying user's super
 //      access policy ∨_{a ∈ 𝔸\𝒜} a.
+//
+// Side channels: the blinding scalars drawn inside ABS.Sign / ABS.Relax are
+// taint-typed SecretFr and ride the constant-pattern ladders (crypto/ct.h);
+// everything hashed or signed through this header — keys, boxes, value
+// hashes, policies — is public VO material.
 #ifndef APQA_CORE_APP_SIGNATURE_H_
 #define APQA_CORE_APP_SIGNATURE_H_
 

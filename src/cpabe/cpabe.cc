@@ -33,14 +33,12 @@ G2 PublicKey::HashG2(const std::string& attr) const {
 }
 
 void CpAbe::Setup(Rng* rng, MasterKey* mk, PublicKey* pk) {
-  mk->alpha = rng->NextNonZeroFr();
-  mk->a = rng->NextNonZeroFr();
-  pk->g1 = crypto::G1Mul(rng->NextNonZeroFr());
-  pk->g2 = crypto::G2Mul(rng->NextNonZeroFr());
-  pk->g1_a = pk->g1.ScalarMul(mk->a);
-  crypto::Limbs<4> al = mk->alpha.ToCanonical();
-  pk->egg_alpha = crypto::Pairing(pk->g1, pk->g2)
-                      .Pow(std::span<const crypto::u64>(al.data(), 4));
+  mk->alpha = rng->NextNonZeroSecretFr();
+  mk->a = rng->NextNonZeroSecretFr();
+  pk->g1 = crypto::CtG1Mul(rng->NextNonZeroSecretFr());
+  pk->g2 = crypto::CtG2Mul(rng->NextNonZeroSecretFr());
+  pk->g1_a = crypto::CtScalarMul(pk->g1, mk->a);
+  pk->egg_alpha = crypto::CtPow(crypto::Pairing(pk->g1, pk->g2), mk->alpha);
   pk->precomp();  // warm the fixed-base tables while setup owns the key
 }
 
@@ -48,12 +46,12 @@ SecretKey CpAbe::KeyGen(const MasterKey& mk, const PublicKey& pk,
                         const RoleSet& attrs, Rng* rng) {
   const PublicKey::Precomp& pc = pk.precomp();
   SecretKey sk;
-  Fr t = rng->NextNonZeroFr();
-  sk.k = pc.g2_tab.Mul(mk.alpha + mk.a * t);
-  sk.l = pc.g2_tab.Mul(t);
+  SecretFr t = rng->NextNonZeroSecretFr();
+  sk.k = pc.g2_tab.MulCt(mk.alpha + mk.a * t);
+  sk.l = pc.g2_tab.MulCt(t);
   for (const auto& x : attrs) {
     // H2(x)^t = g2^{h_x t}: one fixed-base mul instead of two muls.
-    sk.k_attr[x] = pc.g2_tab.Mul(HashToFr("cpabe-attr:" + x) * t);
+    sk.k_attr[x] = pc.g2_tab.MulCt(HashToFr("cpabe-attr:" + x) * t);
   }
   return sk;
 }
@@ -66,19 +64,21 @@ Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
 
   Ciphertext ct;
   ct.policy = policy;
-  Fr s = rng->NextNonZeroFr();
-  std::vector<Fr> u(cols);
+  // The encryption randomness s, the share vector u and the per-row r_i
+  // blind the session element; recovering any of them from a side channel
+  // recovers the payload key, so they are taint-typed end to end.
+  SecretFr s = rng->NextNonZeroSecretFr();
+  std::vector<SecretFr> u(cols);
   u[0] = s;
-  for (std::size_t j = 1; j < cols; ++j) u[j] = rng->NextFr();
+  for (std::size_t j = 1; j < cols; ++j) u[j] = rng->NextSecretFr();
 
-  crypto::Limbs<4> sl = s.ToCanonical();
-  ct.c_tilde = m * pk.egg_alpha.Pow(std::span<const crypto::u64>(sl.data(), 4));
-  ct.c_prime = pc.g1_tab.Mul(s);
+  ct.c_tilde = m * crypto::CtPow(pk.egg_alpha, s);
+  ct.c_prime = pc.g1_tab.MulCt(s);
 
   ct.c.resize(rows);
   ct.d.resize(rows);
   for (std::size_t i = 0; i < rows; ++i) {
-    Fr lambda = Fr::Zero();
+    SecretFr lambda;  // zero
     for (std::size_t j = 0; j < cols; ++j) {
       if (msp.m[i][j] == 1) {
         lambda = lambda + u[j];
@@ -86,12 +86,12 @@ Ciphertext CpAbe::Encrypt(const PublicKey& pk, const GT& m,
         lambda = lambda - u[j];
       }
     }
-    Fr ri = rng->NextNonZeroFr();
+    SecretFr ri = rng->NextNonZeroSecretFr();
     // g1^{a lambda_i} * H1(rho(i))^{-r_i} = g1a^{lambda_i} * g1^{-h r_i}:
-    // every factor is a fixed-base table mul.
+    // every factor is a constant-pattern fixed-base table mul.
     Fr h = HashToFr("cpabe-attr:" + msp.row_labels[i]);
-    ct.c[i] = pc.g1a_tab.Mul(lambda) - pc.g1_tab.Mul(h * ri);
-    ct.d[i] = pc.g1_tab.Mul(ri);
+    ct.c[i] = pc.g1a_tab.MulCt(lambda) - pc.g1_tab.MulCt(h * ri);
+    ct.d[i] = pc.g1_tab.MulCt(ri);
   }
   return ct;
 }
@@ -202,10 +202,11 @@ void DeriveKeyNonce(const GT& session, crypto::AesKey* key,
 
 Envelope Seal(const PublicKey& pk, const Policy& policy,
               const std::vector<std::uint8_t>& plaintext, Rng* rng) {
-  // Random GT session element: e(g1, g2)^rho for random rho.
-  Fr rho = rng->NextNonZeroFr();
-  crypto::Limbs<4> rl = rho.ToCanonical();
-  GT session = pk.egg_alpha.Pow(std::span<const crypto::u64>(rl.data(), 4));
+  // Random GT session element: e(g1, g2)^rho for random rho. The exponent
+  // determines the AES payload key, so it rides the constant-pattern
+  // GT ladder.
+  SecretFr rho = rng->NextNonZeroSecretFr();
+  GT session = crypto::CtPow(pk.egg_alpha, rho);
 
   Envelope env;
   env.key_ct = CpAbe::Encrypt(pk, session, policy, rng);
@@ -223,7 +224,9 @@ std::optional<std::vector<std::uint8_t>> Open(const PublicKey& pk,
   crypto::AesKey key;
   crypto::AesNonce nonce;
   DeriveKeyNonce(*session, &key, &nonce);
-  if (nonce != env.nonce) return std::nullopt;
+  // The derived nonce is key material (it shares a hash preimage with the
+  // AES key), so the comparison must not early-exit on a matching prefix.
+  if (!crypto::CtEq(nonce, env.nonce)) return std::nullopt;
   return crypto::AesCtr(key, env.nonce, env.body);
 }
 

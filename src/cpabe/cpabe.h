@@ -30,6 +30,7 @@ using crypto::G1;
 using crypto::G2;
 using crypto::GT;
 using crypto::Rng;
+using crypto::SecretFr;
 using policy::Policy;
 using policy::RoleSet;
 
@@ -54,8 +55,10 @@ struct PublicKey {
   mutable std::shared_ptr<const Precomp> precomp_;
 };
 
+// Taint-typed master scalars: arithmetic and the constant-pattern ladders
+// accept them, variable-time scalar paths reject them at compile time.
 struct MasterKey {
-  Fr alpha, a;
+  SecretFr alpha, a;
 };
 
 // Decryption key for an attribute set.

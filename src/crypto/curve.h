@@ -9,6 +9,12 @@
 
 namespace apqa::crypto {
 
+// Taint wrapper for secret scalars (crypto/ct.h). Forward-declared here so
+// the variable-time entry points below can delete their Secret overloads:
+// passing a SecretFr to ScalarMul is a compile error, not a silent leak.
+template <typename T>
+class Secret;
+
 template <typename F>
 struct CurvePoint {
   // Jacobian coordinates (X/Z^2, Y/Z^3); Z == 0 encodes infinity.
@@ -101,12 +107,15 @@ struct CurvePoint {
   }
 
   // Scalar multiplication by a canonical Fr scalar. Uses a width-4 wNAF
-  // (≈25% fewer additions than double-and-add). Not constant time; this
-  // library models a data-management protocol, not a side-channel-hardened
-  // production signer.
+  // (≈25% fewer additions than double-and-add). NOT constant time — the
+  // recoding loop, digit skips and table indices all depend on the scalar —
+  // so it accepts public scalars only; secret scalars are rejected at
+  // compile time and go through CtScalarMul / FixedBaseTable::MulCt
+  // (crypto/ct.h, crypto/msm.h) instead.
   CurvePoint ScalarMul(const Fr& k) const {
     return ScalarMulCanonical(k.ToCanonical());
   }
+  CurvePoint ScalarMul(const Secret<Fr>&) const = delete;
 
   // Same, by an arbitrary 4-limb integer that need not be reduced mod r.
   // Needed for the subgroup membership check, which multiplies by r itself.
@@ -225,9 +234,12 @@ Fp G1CurveB();    // 4
 Fp2 G2CurveB();   // 4 * (1 + i)
 
 // g^k for the standard generators, via fixed-base tables (msm.h) built on
-// first use.
+// first use. Variable time — public exponents only; CtG1Mul/CtG2Mul
+// (crypto/ct.h) are the constant-pattern versions for secret exponents.
 G1 G1Mul(const Fr& k);
 G2 G2Mul(const Fr& k);
+G1 G1Mul(const Secret<Fr>&) = delete;
+G2 G2Mul(const Secret<Fr>&) = delete;
 
 }  // namespace apqa::crypto
 

@@ -123,7 +123,9 @@ Fp12 Fp12::PowCyclotomic(std::span<const u64> e) const {
     for (int k = 3; k >= 0; --k) {
       std::size_t bit = lo + static_cast<std::size_t>(k);
       idx <<= 1;
-      if (bit < bits) idx |= (e[bit / 64] >> (bit % 64)) & 1;
+      if (bit < bits) {
+        idx |= static_cast<unsigned>((e[bit / 64] >> (bit % 64)) & 1);
+      }
     }
     if (idx != 0) {
       acc = started ? acc * table[idx] : table[idx];
@@ -163,7 +165,9 @@ Fp12 Fp12::Pow(std::span<const u64> e) const {
     for (int k = 3; k >= 0; --k) {
       std::size_t bit = lo + static_cast<std::size_t>(k);
       idx <<= 1;
-      if (bit < bits) idx |= (e[bit / 64] >> (bit % 64)) & 1;
+      if (bit < bits) {
+        idx |= static_cast<unsigned>((e[bit / 64] >> (bit % 64)) & 1);
+      }
     }
     if (idx != 0) acc = acc * table[idx];
   }

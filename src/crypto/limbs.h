@@ -76,6 +76,56 @@ inline int BitLimbs(const Limbs<N>& a, std::size_t i) {
   return static_cast<int>((a[i / 64] >> (i % 64)) & 1);
 }
 
+// ---------------------------------------------------------------------------
+// Constant-time (branch-free) primitives. Every helper below runs the same
+// instruction sequence regardless of data values; masks are all-zeros or
+// all-ones u64 words. These are the building blocks for the secret-handling
+// discipline in crypto/ct.h and for the branch-free final reductions in
+// prime_field.h.
+// ---------------------------------------------------------------------------
+
+// All-ones if x != 0, all-zeros otherwise.
+inline u64 CtNonZeroMask64(u64 x) {
+  return u64{0} - ((x | (u64{0} - x)) >> 63);
+}
+
+// All-ones if x == 0, all-zeros otherwise.
+inline u64 CtIsZeroMask64(u64 x) { return ~CtNonZeroMask64(x); }
+
+// All-ones if a == b, all-zeros otherwise.
+inline u64 CtEqMask64(u64 a, u64 b) { return CtIsZeroMask64(a ^ b); }
+
+// mask ? a : b, for an all-ones/all-zeros mask.
+inline u64 CtSelectU64(u64 mask, u64 a, u64 b) {
+  return (a & mask) | (b & ~mask);
+}
+
+// *r = mask ? a : b, element-wise, for an all-ones/all-zeros mask. `r` may
+// alias either input.
+template <std::size_t N>
+inline void CtSelectLimbs(u64 mask, const Limbs<N>& a, const Limbs<N>& b,
+                          Limbs<N>* r) {
+  for (std::size_t i = 0; i < N; ++i) {
+    (*r)[i] = (a[i] & mask) | (b[i] & ~mask);
+  }
+}
+
+// All-ones if a == 0, all-zeros otherwise; no early exit.
+template <std::size_t N>
+inline u64 CtIsZeroMaskLimbs(const Limbs<N>& a) {
+  u64 acc = 0;
+  for (std::size_t i = 0; i < N; ++i) acc |= a[i];
+  return CtIsZeroMask64(acc);
+}
+
+// All-ones if a == b, all-zeros otherwise; no early exit.
+template <std::size_t N>
+inline u64 CtEqMaskLimbs(const Limbs<N>& a, const Limbs<N>& b) {
+  u64 acc = 0;
+  for (std::size_t i = 0; i < N; ++i) acc |= a[i] ^ b[i];
+  return CtIsZeroMask64(acc);
+}
+
 // Number of significant bits (0 for zero).
 template <std::size_t N>
 inline std::size_t BitLengthLimbs(const Limbs<N>& a) {

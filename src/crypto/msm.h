@@ -12,14 +12,20 @@
 //   Msm / G1Msm / G2Msm — Pippenger's bucket method with a naive fallback
 //                     below a size cutoff.
 //
-// Like the rest of the curve layer this is not constant time; the library
-// models a data-management protocol, not a hardened signer.
+// The fast paths here are NOT constant time (wNAF digit skips, per-digit
+// table indexing, Pippenger bucketing) and therefore take plain `Fr`
+// scalars only: a `SecretFr` (crypto/ct.h) does not convert and hits a
+// deleted overload, so secrets cannot reach them without an explicit
+// `Declassify()`. Secret exponents use `FixedBaseTable::MulCt`, which walks
+// the same precomputed tables with a full-scan masked select and complete
+// addition formulas — identical memory-access pattern for every scalar.
 #ifndef APQA_CRYPTO_MSM_H_
 #define APQA_CRYPTO_MSM_H_
 
 #include <span>
 #include <vector>
 
+#include "crypto/ct.h"
 #include "crypto/curve.h"
 
 namespace apqa::crypto {
@@ -105,6 +111,8 @@ class FixedBaseTable {
 
   bool Initialized() const { return infinity_base_ || !ax_.empty(); }
 
+  // Variable-time multiply: skips zero windows and indexes the table by the
+  // scalar digit. Public scalars only — SecretFr hits the deleted overload.
   CurvePoint<F> Mul(const Fr& k) const {
     if (infinity_base_) return CurvePoint<F>::Infinity();
     Limbs<4> e = k.ToCanonical();
@@ -117,6 +125,31 @@ class FixedBaseTable {
       acc = acc.AddMixed(ax_[idx], ay_[idx]);
     }
     return acc;
+  }
+  CurvePoint<F> Mul(const SecretFr&) const = delete;
+
+  // Constant-pattern multiply for secret scalars: every window scans all 15
+  // table entries with masked selects (digit 0 selects the identity) and
+  // performs one complete addition — 64 complete additions and the same
+  // loads for every scalar.
+  CurvePoint<F> MulCt(const SecretFr& k) const {
+    if (infinity_base_) return CurvePoint<F>::Infinity();
+    const F& b3 = CtCurveB3<F>::Get();
+    const Limbs<4> e = k.ct_ref().ToCanonical();
+    CtPoint<F> acc = CtPoint<F>::Identity();
+    for (std::size_t w = 0; w < kWindows; ++w) {
+      const u64 digit =
+          (e[w / 16] >> (kWindowBits * (w % 16))) & 15u;
+      CtPoint<F> sel = CtPoint<F>::Identity();
+      for (u64 d = 1; d <= kEntries; ++d) {
+        const std::size_t idx = w * kEntries + static_cast<std::size_t>(d - 1);
+        CtPoint<F> cand{ax_[idx], ay_[idx], F::One()};
+        CtCondAssignObj(&sel, cand, CtEqMask64(digit, d));
+      }
+      ct_trace::Emit('T', static_cast<unsigned>(w));
+      acc = CtCompleteAdd(acc, sel, b3);
+    }
+    return CtToJacobian(acc);
   }
 
  private:

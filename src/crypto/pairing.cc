@@ -31,10 +31,10 @@ const UntwistConsts& Untwist() {
     Fp12 w = Fp12::Zero();
     w.c1.c0 = Fp2::One();  // the element w itself
     Fp12 w2 = w.Square();
-    UntwistConsts c;
-    c.winv2 = w2.Inverse();
-    c.winv3 = (w2 * w).Inverse();
-    return c;
+    UntwistConsts uc;
+    uc.winv2 = w2.Inverse();
+    uc.winv3 = (w2 * w).Inverse();
+    return uc;
   }();
   return c;
 }

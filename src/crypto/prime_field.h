@@ -64,23 +64,37 @@ class PrimeField {
     return MontMul(v_, one);
   }
 
-  bool IsZero() const { return IsZeroLimbs<kLimbs>(v_); }
-  bool operator==(const PrimeField& o) const { return v_ == o.v_; }
-  bool operator!=(const PrimeField& o) const { return !(v_ == o.v_); }
+  // Comparisons accumulate over every limb (no early exit) so equality and
+  // zero tests on secret field elements do not leak a matching prefix.
+  bool IsZero() const { return CtIsZeroMaskLimbs<kLimbs>(v_) != 0; }
+  bool operator==(const PrimeField& o) const {
+    return CtEqMaskLimbs<kLimbs>(v_, o.v_) != 0;
+  }
+  bool operator!=(const PrimeField& o) const { return !(*this == o); }
 
+  // Addition/subtraction/multiplication run a fixed instruction sequence:
+  // the final reduction always computes the conditional subtraction (or
+  // addition) and selects the result with a mask, never a branch. Secret
+  // field elements therefore flow through +, -, * without a data-dependent
+  // branch or access pattern (crypto/ct.h relies on this).
   PrimeField operator+(const PrimeField& o) const {
     PrimeField r;
     u64 carry = AddLimbs<kLimbs>(v_, o.v_, &r.v_);
-    if (carry || CompareLimbs<kLimbs>(r.v_, Tag::kModulus) >= 0) {
-      SubLimbs<kLimbs>(r.v_, Tag::kModulus, &r.v_);
-    }
+    L reduced;
+    u64 borrow = SubLimbs<kLimbs>(r.v_, Tag::kModulus, &reduced);
+    // Subtract p when the raw sum overflowed 64*kLimbs bits or is >= p
+    // (i.e. the trial subtraction did not borrow).
+    u64 use = u64{0} - (carry | (borrow ^ 1));
+    CtSelectLimbs<kLimbs>(use, reduced, r.v_, &r.v_);
     return r;
   }
 
   PrimeField operator-(const PrimeField& o) const {
     PrimeField r;
     u64 borrow = SubLimbs<kLimbs>(v_, o.v_, &r.v_);
-    if (borrow) AddLimbs<kLimbs>(r.v_, Tag::kModulus, &r.v_);
+    L lifted;
+    AddLimbs<kLimbs>(r.v_, Tag::kModulus, &lifted);
+    CtSelectLimbs<kLimbs>(u64{0} - borrow, lifted, r.v_, &r.v_);
     return r;
   }
 
@@ -118,8 +132,25 @@ class PrimeField {
     return acc;
   }
 
+  // Constant-pattern multiplicative inverse via Fermat: a^(p-2). The
+  // exponent is the public modulus, so the square-and-multiply branch
+  // pattern is data-independent; only the (constant-time) field
+  // multiplications see the secret base. ~3x slower than the EGCD
+  // Inverse() below — use this for secret inputs, Inverse() for public
+  // ones. Returns zero for zero input.
+  PrimeField CtInverse() const {
+    L e = Tag::kModulus;
+    L two{};
+    two[0] = 2;
+    SubLimbs<kLimbs>(e, two, &e);
+    return Pow(std::span<const u64>(e.data(), kLimbs));
+  }
+
   // Multiplicative inverse via binary extended GCD (HAC 14.61 style).
-  // Returns zero for zero input.
+  // VARIABLE TIME in the value being inverted: the GCD iteration count and
+  // branch pattern depend on the operand. Only public data may flow here;
+  // secret inversions go through CtInverse() (enforced by the Secret<T>
+  // taint wrapper in crypto/ct.h). Returns zero for zero input.
   PrimeField Inverse() const {
     if (IsZero()) return Zero();
     const L& p = Tag::kModulus;
@@ -178,7 +209,7 @@ class PrimeField {
 
   static const MontConsts& Consts() {
     static const MontConsts c = [] {
-      MontConsts c{};
+      MontConsts mc{};
       const L& p = Tag::kModulus;
       // r1 = 2^(64N) mod p by repeated doubling of 1.
       L x{};
@@ -189,7 +220,7 @@ class PrimeField {
           SubLimbs<kLimbs>(x, p, &x);
         }
       }
-      c.r1 = x;
+      mc.r1 = x;
       // r2 = 2^(2*64N) mod p: double r1 another 64N times.
       for (std::size_t i = 0; i < 64 * kLimbs; ++i) {
         u64 carry = AddLimbs<kLimbs>(x, x, &x);
@@ -197,12 +228,12 @@ class PrimeField {
           SubLimbs<kLimbs>(x, p, &x);
         }
       }
-      c.r2 = x;
+      mc.r2 = x;
       // inv = -p^-1 mod 2^64 by Newton iteration.
       u64 inv = 1;
       for (int i = 0; i < 6; ++i) inv *= 2 - p[0] * inv;
-      c.inv = ~inv + 1;  // negate mod 2^64
-      return c;
+      mc.inv = ~inv + 1;  // negate mod 2^64
+      return mc;
     }();
     return c;
   }
@@ -238,11 +269,12 @@ class PrimeField {
     }
     L r;
     std::memcpy(r.data(), t, sizeof(r));
-    L tmp;
-    if (t[kLimbs] != 0 || CompareLimbs<kLimbs>(r, p) >= 0) {
-      SubLimbs<kLimbs>(r, p, &tmp);
-      r = tmp;
-    }
+    // Branch-free final reduction: subtract p when the product carried into
+    // the extra limb or the low limbs are >= p.
+    L reduced;
+    u64 borrow = SubLimbs<kLimbs>(r, p, &reduced);
+    u64 use = CtNonZeroMask64(t[kLimbs]) | (u64{0} - (borrow ^ 1));
+    CtSelectLimbs<kLimbs>(use, reduced, r, &r);
     return r;
   }
 

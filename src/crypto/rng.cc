@@ -101,7 +101,12 @@ Fr Rng::NextFr() {
   Limbs<4> l;
   Fill(l.data(), sizeof(l));
   l[3] &= 0x7fffffffffffffffULL;  // < 2^255 < 2r, so one subtraction suffices
-  return Fr::FromCanonicalReduce(l);
+  // Branch-free single reduction: always compute l - r and select by the
+  // borrow, so the expanded seed bytes never steer a branch.
+  Limbs<4> reduced;
+  u64 borrow = SubLimbs<4>(l, Fr::Modulus(), &reduced);
+  CtSelectLimbs<4>(u64{0} - borrow, l, reduced, &l);
+  return Fr::FromCanonical(l);
 }
 
 Fr Rng::NextNonZeroFr() {

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "crypto/ct.h"
 #include "crypto/fields.h"
 
 namespace apqa::crypto {
@@ -26,10 +27,19 @@ class Rng {
   std::vector<std::uint8_t> Bytes(std::size_t n);
 
   // Uniform scalar in [0, r); rejection-free near-uniform sampling by
-  // masking to 255 bits and reducing.
+  // masking to 255 bits and a single masked (branch-free) reduction.
   Fr NextFr();
-  // Non-zero scalar.
+  // Non-zero scalar. The rejection loop branches only on "was the draw
+  // exactly zero" (probability 2^-255) — quarantined as acceptable
+  // (see DESIGN.md, secret-taint discipline).
   Fr NextNonZeroFr();
+
+  // Taint-typed draws for key material and blinding scalars: identical
+  // stream to NextFr/NextNonZeroFr (same number of ChaCha blocks consumed),
+  // wrapped as SecretFr so downstream code cannot reach a variable-time
+  // scalar path without Declassify().
+  SecretFr NextSecretFr() { return SecretFr(NextFr()); }
+  SecretFr NextNonZeroSecretFr() { return SecretFr(NextNonZeroFr()); }
 
  private:
   void Refill();

@@ -365,5 +365,52 @@ TEST_F(MultiDimTest, TwoDimensionalRange) {
   EXPECT_EQ(values, (std::set<std::string>{"a", "d"}));
 }
 
+// The §8.2 parallel path: ADS construction and SP-side relaxation run on a
+// thread pool. Results must be interchangeable with the serial path, and
+// the test doubles as the TSan workload in scripts/check.sh.
+TEST(ParallelPathTest, ThreadedBuildAndQueriesMatchSerial) {
+  Domain domain{/*dims=*/1, /*bits=*/5};
+  DataOwner owner(RoleSet{"RoleA", "RoleB"}, domain, 777);
+  std::vector<Record> records;
+  for (std::uint32_t k = 0; k < 24; ++k) {
+    records.push_back(Rec(k, "v" + std::to_string(k),
+                          (k % 3 == 0) ? "RoleA" : "RoleA & RoleB"));
+  }
+
+  ThreadPool pool(4);
+  ServiceProvider sp_par(owner.keys(), owner.BuildAds(records, &pool),
+                         /*threads=*/4);
+  User user(owner.keys(), owner.EnrollUser({"RoleA"}));
+
+  Box range{Point{2}, Point{19}};
+  std::vector<Record> results;
+  std::string error;
+  ASSERT_TRUE(user.VerifyRange(range, sp_par.RangeQuery(range, user.roles()),
+                               &results, &error))
+      << error;
+  std::set<std::string> got;
+  for (const auto& r : results) got.insert(r.value);
+
+  ServiceProvider sp_ser(owner.keys(), owner.BuildAds(records),
+                         /*threads=*/1);
+  results.clear();
+  ASSERT_TRUE(user.VerifyRange(range, sp_ser.RangeQuery(range, user.roles()),
+                               &results, &error))
+      << error;
+  std::set<std::string> want;
+  for (const auto& r : results) want.insert(r.value);
+  EXPECT_EQ(got, want);
+
+  // Equality through the pool-backed SP as well.
+  Record rec;
+  bool accessible = false;
+  ASSERT_TRUE(user.VerifyEquality(
+      Point{3}, sp_par.EqualityQuery(Point{3}, user.roles()), &rec,
+      &accessible, &error))
+      << error;
+  EXPECT_TRUE(accessible);
+  EXPECT_EQ(rec.value, "v3");
+}
+
 }  // namespace
 }  // namespace apqa::core

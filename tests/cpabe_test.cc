@@ -32,7 +32,9 @@ TEST(Aes128Test, CtrRoundTripAndLengths) {
     auto ct = crypto::AesCtr(key, nonce, msg);
     EXPECT_EQ(ct.size(), len);
     EXPECT_EQ(crypto::AesCtr(key, nonce, ct), msg);
-    if (len >= 16) EXPECT_NE(ct, msg);
+    if (len >= 16) {
+      EXPECT_NE(ct, msg);
+    }
   }
 }
 
@@ -175,7 +177,9 @@ TEST_F(CpAbeTest, ComplexPolicyAcrossLattice) {
     SecretKey sk = CpAbe::KeyGen(mk_, pk_, roles, rng_.get());
     auto out = CpAbe::Decrypt(pk_, sk, ct);
     EXPECT_EQ(out.has_value(), pol.Evaluate(roles)) << "mask=" << mask;
-    if (out.has_value()) EXPECT_EQ(*out, m);
+    if (out.has_value()) {
+      EXPECT_EQ(*out, m);
+    }
   }
 }
 

@@ -113,7 +113,9 @@ TEST(FrTest, FieldLaws) {
     Fr a = rng.NextFr(), b = rng.NextFr();
     EXPECT_EQ(a * b, b * a);
     EXPECT_EQ(a + b, b + a);
-    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fr::One());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fr::One());
+    }
     EXPECT_EQ(a - b, -(b - a));
   }
 }
@@ -125,7 +127,9 @@ TEST(Fp2Test, FieldLaws) {
     EXPECT_EQ(a * (b * c), (a * b) * c);
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a.Square(), a * a);
-    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp2::One());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fp2::One());
+    }
   }
 }
 
@@ -147,7 +151,9 @@ TEST(Fp6Test, FieldLaws) {
     Fp6 a = RandomFp6(&rng), b = RandomFp6(&rng), c = RandomFp6(&rng);
     EXPECT_EQ(a * (b * c), (a * b) * c);
     EXPECT_EQ(a * (b + c), a * b + a * c);
-    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp6::One());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fp6::One());
+    }
   }
 }
 
@@ -167,7 +173,9 @@ TEST(Fp12Test, FieldLaws) {
     EXPECT_EQ(a * (b * c), (a * b) * c);
     EXPECT_EQ(a * (b + c), a * b + a * c);
     EXPECT_EQ(a.Square(), a * a);
-    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp12::One());
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fp12::One());
+    }
   }
 }
 

@@ -122,7 +122,9 @@ void CheckMspAgainstPolicy(const Policy& p) {
         EXPECT_EQ(sum, j == 0 ? 1 : 0) << p.ToString() << " col " << j;
       }
       for (std::size_t i = 0; i < msp.Rows(); ++i) {
-        if ((*v)[i] != 0) EXPECT_TRUE(roles.count(msp.row_labels[i]));
+        if ((*v)[i] != 0) {
+          EXPECT_TRUE(roles.count(msp.row_labels[i]));
+        }
       }
     }
   }

@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ParamCase{3, 2, 12, 6, 6, 0.25, 5},
                       ParamCase{1, 4, 0, 4, 5, 0.3, 6},   // empty database
                       ParamCase{1, 3, 8, 1, 3, 0.9, 7}),  // single policy
-    [](const ::testing::TestParamInfo<ParamCase>& info) {
+    [](const ::testing::TestParamInfo<ParamCase>& pinfo) {
       std::ostringstream os;
-      os << info.param;
+      os << pinfo.param;
       return os.str();
     });
 
@@ -141,9 +141,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ParamCase{1, 4, 6, 4, 5, 0.3, 21},
                       ParamCase{2, 3, 8, 6, 6, 0.25, 22},
                       ParamCase{2, 2, 5, 4, 5, 0.4, 23}),
-    [](const ::testing::TestParamInfo<ParamCase>& info) {
+    [](const ::testing::TestParamInfo<ParamCase>& pinfo) {
       std::ostringstream os;
-      os << info.param;
+      os << pinfo.param;
       return os.str();
     });
 
@@ -180,7 +180,9 @@ TEST_P(EqualityProtocolP, EveryKeyVerifiesWithCorrectOutcome) {
     bool expect_accessible =
         it != by_key.end() && it->second.policy.Evaluate(roles);
     EXPECT_EQ(accessible, expect_accessible) << "key " << k;
-    if (expect_accessible) EXPECT_EQ(result.value, it->second.value);
+    if (expect_accessible) {
+      EXPECT_EQ(result.value, it->second.value);
+    }
   }
 }
 
@@ -189,9 +191,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ParamCase{1, 3, 4, 4, 5, 0.3, 11},
                       ParamCase{1, 4, 10, 6, 6, 0.2, 12},
                       ParamCase{1, 3, 0, 4, 5, 0.5, 13}),
-    [](const ::testing::TestParamInfo<ParamCase>& info) {
+    [](const ::testing::TestParamInfo<ParamCase>& pinfo) {
       std::ostringstream os;
-      os << info.param;
+      os << pinfo.param;
       return os.str();
     });
 
