@@ -1,0 +1,119 @@
+// Micro-benchmark: what the service runtime (src/net/) costs on top of the
+// protocol itself.
+//
+//   frame         — EncodeFrame/DecodeFrame (checksum included) at VO-sized
+//                   payloads; this is the per-message tax of the wire format.
+//   rpc_overhead  — the same equality/range query issued (a) as a direct
+//                   core::ServiceProvider call with local verification and
+//                   (b) through SpServer + ApqaClient over an in-process
+//                   PipeTransport. The difference is queueing + framing +
+//                   (de)serialization, not crypto.
+//
+// Every row is also emitted through the JSON trajectory sink (bench_util.h):
+//   APQA_BENCH_JSON=BENCH_net.json ./bench_net_service   (or --json=PATH)
+#include <memory>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/pipe_transport.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace apqa;
+using apqa::bench::RecordJson;
+using apqa::bench::Timer;
+
+constexpr const char* kBench = "net_service";
+
+template <typename T>
+void Sink(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+template <typename Fn>
+double TimeMs(int iters, Fn&& fn) {
+  Timer t;
+  for (int i = 0; i < iters; ++i) fn();
+  return t.ElapsedMs() / iters;
+}
+
+void Report(const char* row, double ms) {
+  std::printf("  %-28s %10.3f ms\n", row, ms);
+  RecordJson(kBench, row, ms);
+}
+
+void BenchFraming(int iters) {
+  std::printf("frame encode/decode (%d iters)\n", iters);
+  for (std::size_t payload_bytes : {64u, 4096u, 262144u}) {
+    net::Frame f;
+    f.type = net::MsgType::kVoResponse;
+    f.request_id = 42;
+    f.payload.assign(payload_bytes, 0xa5);
+    std::vector<std::uint8_t> wire = net::EncodeFrame(f);
+    char row[64];
+    std::snprintf(row, sizeof(row), "encode_%zuB", payload_bytes);
+    Report(row, TimeMs(iters, [&] { Sink(net::EncodeFrame(f)); }));
+    std::snprintf(row, sizeof(row), "decode_%zuB", payload_bytes);
+    net::Frame out;
+    Report(row, TimeMs(iters, [&] { Sink(net::DecodeFrame(wire, &out)); }));
+  }
+}
+
+void BenchRpcOverhead(int queries) {
+  std::printf("direct call vs RPC over pipe (%d queries averaged)\n", queries);
+  bench::DeployConfig cfg;
+  bench::Deployment d = bench::Deploy(cfg);
+  const core::SystemKeys& keys = d.owner->keys();
+  core::UserCredentials creds = d.owner->EnrollUser(d.user_roles);
+  core::User user(keys, creds);
+  crypto::Rng rng(7);
+
+  std::vector<core::Box> ranges;
+  for (int q = 0; q < queries; ++q) {
+    ranges.push_back(tpch::RandomRangeQuery(keys.domain, 0.05, &rng));
+  }
+
+  double direct = TimeMs(queries, [&, i = 0]() mutable {
+    const core::Box& range = ranges[static_cast<std::size_t>(i++)];
+    core::Vo vo = d.sp->RangeQuery(range, d.user_roles);
+    std::vector<core::Record> rows;
+    bool ok = user.VerifyRange(range, vo, &rows, nullptr);
+    Sink(ok);
+  });
+  Report("range_direct", direct);
+
+  auto [server_end, client_end] = net::PipeTransport::CreatePair();
+  net::SpServer server(d.sp.get());
+  if (!server.AttachTransport(server_end)) return;
+  net::ClientOptions copts;
+  copts.deadline_ms = 60000;
+  copts.attempt_timeout_ms = 30000;
+  net::ApqaClient client(keys, creds, client_end, copts);
+
+  double rpc = TimeMs(queries, [&, i = 0]() mutable {
+    std::vector<core::Record> rows;
+    net::ClientResult r =
+        client.Range(ranges[static_cast<std::size_t>(i++)], &rows);
+    if (!r.ok()) {
+      std::fprintf(stderr, "BENCH BUG: %s\n", r.ToString().c_str());
+      std::abort();
+    }
+  });
+  Report("range_rpc_pipe", rpc);
+  Report("range_rpc_tax", rpc - direct);
+  server.Stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::EnableJsonFromArgs(argc, argv);
+  bench::PrintHeader("net_service",
+                     "service runtime overhead: framing + RPC vs direct calls");
+  int iters = bench::FastMode() ? 200 : 2000;
+  BenchFraming(iters);
+  BenchRpcOverhead(bench::QueriesPerRow());
+  return 0;
+}

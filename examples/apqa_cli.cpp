@@ -13,12 +13,26 @@
 //
 // Every query is verified client-side; the tool prints the verified rows
 // and the VO size.
+//
+// Two extra subcommands run the demo deployment as a real TCP service
+// (src/net/). Keys are derived deterministically from --seed, so a server
+// and any number of clients rebuild the same trust anchors independently —
+// no key files change hands:
+//
+//   apqa_cli serve [--port=N] [--seed=N] [--workers=N] [--queue=N]
+//   apqa_cli query [--port=N] [--seed=N] [--roles=r1,r2]
+//                  [--deadline-ms=N] [--retries=N]
+//                  eq <v1,v2,..> | range <lo,..> <hi,..>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "db/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
 
 using namespace apqa;
 using namespace apqa::db;
@@ -182,9 +196,194 @@ struct Cli {
   }
 };
 
+// --- TCP service mode -------------------------------------------------------
+
+// The served deployment: the same hospital data mart as the script demo,
+// rebuilt identically by every process that knows the seed.
+const std::uint64_t kDefaultSeed = 2018;
+
+TableSchema DemoSchema() {
+  return TableSchema("vitals",
+                     {{"heart_rate", 30, 220}, {"temp", 34, 43}},
+                     /*bits=*/4);
+}
+
+RoleSet DemoUniverse() { return {"Doctor", "Nurse", "Researcher"}; }
+
+std::vector<core::Record> DemoRecords(const TableSchema& schema) {
+  struct DemoRow {
+    std::vector<double> attrs;
+    const char* policy;
+    const char* value;
+  };
+  const DemoRow rows[] = {
+      {{72, 36.6}, "Doctor|Nurse", "ward-A/patient-1"},
+      {{95, 38.2}, "Doctor", "ward-A/patient-2"},
+      {{120, 39.5}, "(Doctor&Researcher)|Nurse", "icu/patient-3"},
+      {{61, 36.1}, "Researcher", "cohort/anon-17"},
+  };
+  std::vector<core::Record> records;
+  for (const auto& r : rows) {
+    records.push_back(core::Record{schema.Discretize(r.attrs), r.value,
+                                   core::Policy::Parse(r.policy)});
+  }
+  return records;
+}
+
+// Minimal --key=value parser; positional arguments pass through.
+struct Flags {
+  std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
+
+  static Flags Parse(int argc, char** argv, int from) {
+    Flags f;
+    for (int i = from; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        auto eq = a.find('=');
+        std::string key = a.substr(2, eq == std::string::npos ? a.size() : eq - 2);
+        std::string value = eq == std::string::npos ? std::string("1")
+                                                    : a.substr(eq + 1);
+        f.kv.emplace(std::move(key), std::move(value));
+      } else {
+        f.positional.push_back(a);
+      }
+    }
+    return f;
+  }
+
+  std::uint64_t U64(const std::string& key, std::uint64_t def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::stoull(it->second);
+  }
+  std::string Str(const std::string& key, const std::string& def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+};
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void HandleSigint(int) { g_interrupted = 1; }
+
+int RunServe(const Flags& flags) {
+  std::uint64_t seed = flags.U64("seed", kDefaultSeed);
+  TableSchema schema = DemoSchema();
+  std::printf("deriving keys and signing the demo ADS (seed %llu)...\n",
+              static_cast<unsigned long long>(seed));
+  core::DataOwner owner(DemoUniverse(), schema.domain(), seed);
+  core::ServiceProvider sp(owner.keys(), owner.BuildAds(DemoRecords(schema)));
+
+  net::SpServerOptions opts;
+  opts.worker_threads = static_cast<int>(flags.U64("workers", 2));
+  opts.max_queue = flags.U64("queue", 8);
+  net::SpServer server(&sp, opts);
+
+  net::TcpListener listener(
+      static_cast<std::uint16_t>(flags.U64("port", 4720)));
+  if (!listener.ok()) {
+    std::fprintf(stderr, "cannot bind 127.0.0.1 (try --port=0)\n");
+    return 1;
+  }
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  std::printf("serving '%s' on 127.0.0.1:%u — Ctrl-C for graceful drain\n",
+              schema.name().c_str(), listener.port());
+  std::fflush(stdout);
+
+  while (g_interrupted == 0) {
+    auto conn = listener.Accept(/*timeout_ms=*/250);
+    if (conn != nullptr && !server.AttachTransport(std::move(conn))) break;
+  }
+  listener.Close();
+  std::printf("\ndraining...\n");
+  server.Stop();
+  net::ServerStats s = server.stats();
+  std::printf("served %llu  expired %llu  failed %llu  shed %llu  "
+              "refused %llu  malformed %llu\n",
+              static_cast<unsigned long long>(s.served),
+              static_cast<unsigned long long>(s.expired),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.refused),
+              static_cast<unsigned long long>(s.malformed));
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "query needs a subcommand: eq <vals> | "
+                         "range <lo> <hi>\n");
+    return 2;
+  }
+  std::uint64_t seed = flags.U64("seed", kDefaultSeed);
+  TableSchema schema = DemoSchema();
+  // Same seed → same master keys as the server; enrollment only needs the
+  // (deterministic) master secret, not the server's cooperation.
+  core::DataOwner owner(DemoUniverse(), schema.domain(), seed);
+  auto roles_list = Split(flags.Str("roles", "Nurse"), ',');
+  core::UserCredentials creds =
+      owner.EnrollUser(RoleSet(roles_list.begin(), roles_list.end()));
+
+  auto transport = net::SocketTransport::Connect(
+      "127.0.0.1", static_cast<std::uint16_t>(flags.U64("port", 4720)),
+      /*timeout_ms=*/2000);
+  if (transport == nullptr) {
+    std::fprintf(stderr, "cannot connect (is `apqa_cli serve` running?)\n");
+    return 1;
+  }
+  net::ClientOptions opts;
+  opts.deadline_ms = static_cast<std::uint32_t>(flags.U64("deadline-ms", 5000));
+  opts.max_attempts = static_cast<int>(flags.U64("retries", 4));
+  opts.attempt_timeout_ms = opts.deadline_ms / 2 + 1;
+  net::ApqaClient client(owner.keys(), creds,
+                         std::shared_ptr<net::Transport>(std::move(transport)),
+                         opts);
+
+  const std::string& op = flags.positional[0];
+  net::ClientResult r;
+  if (op == "eq" && flags.positional.size() == 2) {
+    core::Record rec;
+    bool accessible = false;
+    r = client.Equality(schema.Discretize(ParseDoubles(flags.positional[1])),
+                        &rec, &accessible);
+    if (r.ok()) {
+      std::printf("VERIFIED eq (%s): %s\n", flags.positional[1].c_str(),
+                  accessible ? rec.value.c_str() : "inaccessible or absent");
+    }
+  } else if (op == "range" && flags.positional.size() == 3) {
+    std::vector<core::Record> rows;
+    r = client.Range(schema.DiscretizeRange(ParseDoubles(flags.positional[1]),
+                                            ParseDoubles(flags.positional[2])),
+                     &rows);
+    if (r.ok()) {
+      std::printf("VERIFIED range [%s..%s]: %zu rows\n",
+                  flags.positional[1].c_str(), flags.positional[2].c_str(),
+                  rows.size());
+      for (const auto& row : rows) std::printf("    %s\n", row.value.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "usage: query ... eq <v1,v2> | range <lo,..> "
+                         "<hi,..>\n");
+    return 2;
+  }
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", r.ToString().c_str());
+    return 1;
+  }
+  std::printf("(%d attempt(s), %u ms in backoff)\n", r.attempts,
+              r.backoff_total_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") {
+    return RunServe(Flags::Parse(argc, argv, 2));
+  }
+  if (argc > 1 && std::string(argv[1]) == "query") {
+    return RunQuery(Flags::Parse(argc, argv, 2));
+  }
   Cli cli;
   if (argc > 1) {
     std::ifstream f(argv[1]);

@@ -78,13 +78,16 @@ echo "=== hostile-input tests under ASan ==="
 
 echo "=== build (TSan) ==="
 cmake -B build-tsan -S . -DAPQA_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target thread_pool_test core_test
+cmake --build build-tsan -j --target thread_pool_test core_test net_test
 
 echo "=== threaded paths under TSan ==="
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/thread_pool_test \
   --gtest_brief=1
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/core_test \
   --gtest_filter='ParallelPathTest.*' --gtest_brief=1
+# The query service is the most thread-shaped code in the tree: session
+# threads, a bounded pool, chaos-injected retries, drain-then-stop.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/net_test --gtest_brief=1
 
 echo "=== constant-time oracle (MSan) ==="
 if command -v clang++ >/dev/null 2>&1; then

@@ -86,6 +86,9 @@ class ServiceProvider {
   cpabe::Envelope SealedEqualityQuery(const Point& key, const RoleSet& roles);
 
   const GridTree& tree() const { return tree_; }
+  // Public parameters (needed by the service runtime to validate inbound
+  // queries against the domain before touching the ADS).
+  const SystemKeys& keys() const { return keys_; }
 
  private:
   SystemKeys keys_;

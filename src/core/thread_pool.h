@@ -2,11 +2,20 @@
 //
 // The SP's dominant query-time cost is the set of independent ABS.Relax
 // operations for inaccessible nodes; the pool maps them over worker threads.
-// The DO uses the same pool to parallelize ADS signing.
+// The DO uses the same pool to parallelize ADS signing, and the query
+// service (net/server.h) uses it as a bounded request queue: TrySubmit
+// rejects work once `max_queue` tasks are waiting, which is what lets the
+// server shed load instead of building an unbounded backlog.
+//
+// Lifecycle: Stop() drains every queued task, then joins the workers
+// (the destructor calls it). Submitting after Stop() is a defined error —
+// Submit throws std::runtime_error, TrySubmit returns false — never a
+// silent drop.
 #ifndef APQA_CORE_THREAD_POOL_H_
 #define APQA_CORE_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -18,17 +27,32 @@ namespace apqa::core {
 class ThreadPool {
  public:
   // threads == 0 or 1 degenerates to synchronous execution in Submit.
-  explicit ThreadPool(int threads);
+  // max_queue bounds the number of *waiting* tasks seen by TrySubmit;
+  // 0 means unbounded.
+  explicit ThreadPool(int threads, std::size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  // Enqueues unconditionally (ignores max_queue). Throws std::runtime_error
+  // after Stop().
   void Submit(std::function<void()> task);
+
+  // Enqueues unless the pool is stopped or max_queue tasks are already
+  // waiting; returns whether the task was accepted. With no worker threads
+  // the task runs synchronously (there is no queue to fill).
+  bool TrySubmit(std::function<void()> task);
+
   // Blocks until every submitted task has finished.
   void WaitAll();
 
+  // Drains queued tasks, then joins the workers. Idempotent; called by the
+  // destructor, so destroying a pool with pending tasks runs them first.
+  void Stop();
+
   int thread_count() const { return static_cast<int>(workers_.size()); }
+  std::size_t queued() const;
 
   // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -38,10 +62,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_cv_;
   std::condition_variable done_cv_;
   std::size_t in_flight_ = 0;
+  std::size_t max_queue_ = 0;
   bool stop_ = false;
 };
 

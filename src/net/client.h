@@ -1,0 +1,118 @@
+// ApqaClient: a verifying query client with deadlines and retries.
+//
+// Every query runs under a total deadline budget. Attempts are paced by
+// decorrelated-jitter backoff (net/backoff.h) and each attempt sends one
+// frame and waits for the matching request id, discarding stale or
+// corrupt arrivals.
+//
+// The retry taxonomy is driven by *where* a response fails:
+//
+//   retryable (transient, the network/server may recover)
+//     - send failure, receive timeout, transport error
+//     - frames that fail checksum or frame decoding (corruption/truncation)
+//     - kError responses with a retryable code (RETRY_LATER, SHUTTING_DOWN,
+//       DEADLINE_EXCEEDED) — RETRY_LATER's backoff hint floors the next delay
+//
+//   fatal (retrying cannot help, or must not happen)
+//     - kError responses with kBadRequest/kInternal      → kServerRejected
+//     - a response that *parses* but fails VO soundness/ completeness
+//       verification                                     → kVerifyRejected
+//
+// The last rule is the security-critical one: a malicious SP handing out
+// forged VOs must surface immediately as a verification failure, not turn
+// the client into a retry storm that hammers the service and hides the
+// compromise inside timeout noise.
+#ifndef APQA_NET_CLIENT_H_
+#define APQA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.h"
+#include "core/verify_result.h"
+#include "net/backoff.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace apqa::net {
+
+struct ClientOptions {
+  std::uint32_t deadline_ms = 2000;       // total budget per query
+  std::uint32_t attempt_timeout_ms = 500; // cap on a single attempt
+  int max_attempts = 4;
+  BackoffSpec backoff;
+  std::uint64_t backoff_seed = 0x5eed;
+};
+
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,
+  kDeadlineExceeded,  // budget exhausted before a verified response
+  kRetriesExhausted,  // max_attempts transient failures inside the budget
+  kVerifyRejected,    // response parsed but failed verification — FATAL
+  kServerRejected,    // server answered with a non-retryable error
+  kTransportClosed,   // connection is gone
+};
+const char* ClientStatusName(ClientStatus s);
+
+struct ClientResult {
+  ClientStatus status = ClientStatus::kRetriesExhausted;
+  core::VerifyResult verify;  // why verification failed (kVerifyRejected)
+  ErrorInfo server_error;     // what the server said (kServerRejected)
+  int attempts = 0;
+  std::uint32_t backoff_total_ms = 0;
+  std::string detail;
+
+  bool ok() const { return status == ClientStatus::kOk; }
+  std::string ToString() const;
+};
+
+class ApqaClient {
+ public:
+  ApqaClient(core::SystemKeys keys, core::UserCredentials creds,
+             std::shared_ptr<Transport> transport, ClientOptions opts = {});
+
+  // On kOk: `result`/`accessible` as in core::User::VerifyEquality.
+  ClientResult Equality(const core::Point& key, core::Record* result,
+                        bool* accessible);
+  ClientResult Range(const core::Box& range,
+                     std::vector<core::Record>* results);
+  ClientResult Join(const core::Box& range,
+                    std::vector<std::pair<core::Record, core::Record>>* results);
+
+  // Test seams: inject a fake millisecond clock / sleep so deadline and
+  // backoff schedules are deterministic in tests. Defaults: steady_clock /
+  // this_thread::sleep_for.
+  void SetClockForTest(std::function<std::uint64_t()> now_ms);
+  void SetSleepForTest(std::function<void(std::uint32_t)> sleep_ms);
+
+ private:
+  // wire_ok=false → the payload was not a structurally valid VO (retryable);
+  // wire_ok=true → `verify` decides between success and fatal rejection.
+  struct PayloadOutcome {
+    bool wire_ok = false;
+    core::VerifyResult verify;
+  };
+  using PayloadHandler =
+      std::function<PayloadOutcome(const std::vector<std::uint8_t>&)>;
+
+  ClientResult RunQuery(MsgType type,
+                        const std::vector<std::uint8_t>& payload,
+                        MsgType expected_response,
+                        const PayloadHandler& handle);
+
+  core::SystemKeys keys_;
+  core::UserCredentials creds_;
+  std::shared_ptr<Transport> transport_;
+  ClientOptions opts_;
+  std::uint64_t next_request_id_ = 1;
+  std::function<std::uint64_t()> now_ms_;
+  std::function<void(std::uint32_t)> sleep_ms_;
+};
+
+}  // namespace apqa::net
+
+#endif  // APQA_NET_CLIENT_H_

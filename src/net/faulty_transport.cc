@@ -1,0 +1,70 @@
+#include "net/faulty_transport.h"
+
+#include <utility>
+
+namespace apqa::net {
+
+bool FaultyTransport::Roll(std::uint32_t permille) {
+  return permille > 0 && rng_.Below(1000) < permille;
+}
+
+bool FaultyTransport::Send(const std::vector<std::uint8_t>& frame) {
+  std::vector<std::vector<std::uint8_t>> to_send;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sent;
+    if (Roll(spec_.drop_permille)) {
+      ++counters_.dropped;
+      return true;  // lost in transit; the link itself is fine
+    }
+    if (Roll(spec_.hold_permille)) {
+      ++counters_.held;
+      held_.push_back(frame);
+      return true;
+    }
+    std::vector<std::uint8_t> out = frame;
+    bool dup = Roll(spec_.dup_permille);
+    if (Roll(spec_.truncate_permille) && out.size() > 1) {
+      ++counters_.truncated;
+      out.resize(1 + rng_.Below(out.size() - 1));
+    } else if (Roll(spec_.corrupt_permille) && !out.empty()) {
+      ++counters_.corrupted;
+      std::size_t byte = rng_.Below(out.size());
+      out[byte] ^= static_cast<std::uint8_t>(1u << rng_.Below(8));
+    }
+    if (dup) ++counters_.duplicated;
+    to_send.push_back(out);
+    if (dup) to_send.push_back(std::move(out));
+    // Release every parked frame after the current one: the held frame
+    // arrives late and out of order.
+    for (auto& h : held_) {
+      ++counters_.released;
+      to_send.push_back(std::move(h));
+    }
+    held_.clear();
+  }
+  bool ok = true;
+  for (const auto& f : to_send) ok = inner_->Send(f) && ok;
+  return ok;
+}
+
+RecvStatus FaultyTransport::Recv(std::vector<std::uint8_t>* frame,
+                                 std::uint32_t timeout_ms) {
+  return inner_->Recv(frame, timeout_ms);
+}
+
+void FaultyTransport::Close() {
+  {
+    // Frames parked on a closing connection are lost, like kernel buffers.
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.clear();
+  }
+  inner_->Close();
+}
+
+FaultCounters FaultyTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace apqa::net

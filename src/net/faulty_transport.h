@@ -1,0 +1,78 @@
+// Chaos decorator: wraps any Transport and injects deterministic faults on
+// the send path, driven by the same splitmix64 stream as the VO
+// fault-injection harness (common/mutate.h) so a failing run reproduces
+// from its seed alone.
+//
+// Fault model (each drawn independently per frame, in this order):
+//   * drop       — the frame vanishes; Send still reports success, exactly
+//                  like a lost datagram;
+//   * hold       — the frame is delayed: parked and released after the
+//                  *next* frame goes out (models reordering and responses
+//                  arriving after the client's per-attempt deadline);
+//   * duplicate  — the frame is delivered twice;
+//   * truncate   — a suffix is cut off (partial write / torn message);
+//   * corrupt    — exactly one bit is flipped, so the delivered bytes are
+//                  guaranteed to differ and the frame checksum MUST reject
+//                  them; an accepted corrupt frame is a real bug, never a
+//                  test artifact.
+//
+// To fault both directions of a connection, wrap both endpoints (with
+// different seeds — the streams are otherwise identical).
+#ifndef APQA_NET_FAULTY_TRANSPORT_H_
+#define APQA_NET_FAULTY_TRANSPORT_H_
+
+#include <memory>
+#include <mutex>
+
+#include "common/mutate.h"
+#include "net/transport.h"
+
+namespace apqa::net {
+
+// Per-fault probabilities in permille (0..1000) of each Send.
+struct FaultSpec {
+  std::uint32_t drop_permille = 0;
+  std::uint32_t hold_permille = 0;
+  std::uint32_t dup_permille = 0;
+  std::uint32_t truncate_permille = 0;
+  std::uint32_t corrupt_permille = 0;
+};
+
+// Counters for test assertions ("the suite actually exercised every fault").
+struct FaultCounters {
+  std::uint64_t sent = 0;  // Send calls observed
+  std::uint64_t dropped = 0;
+  std::uint64_t held = 0;
+  std::uint64_t released = 0;  // held frames later delivered
+  std::uint64_t duplicated = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t corrupted = 0;
+};
+
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(std::shared_ptr<Transport> inner, FaultSpec spec,
+                  std::uint64_t seed)
+      : inner_(std::move(inner)), spec_(spec), rng_(seed) {}
+
+  bool Send(const std::vector<std::uint8_t>& frame) override;
+  RecvStatus Recv(std::vector<std::uint8_t>* frame,
+                  std::uint32_t timeout_ms) override;
+  void Close() override;
+
+  FaultCounters counters() const;
+
+ private:
+  bool Roll(std::uint32_t permille);
+
+  std::shared_ptr<Transport> inner_;
+  FaultSpec spec_;
+  common::MutRng rng_;
+  mutable std::mutex mu_;  // guards rng_, held_, counters_
+  std::vector<std::vector<std::uint8_t>> held_;
+  FaultCounters counters_;
+};
+
+}  // namespace apqa::net
+
+#endif  // APQA_NET_FAULTY_TRANSPORT_H_

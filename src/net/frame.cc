@@ -1,0 +1,188 @@
+#include "net/frame.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "core/vo.h"
+#include "crypto/sha256.h"
+
+namespace apqa::net {
+
+namespace {
+
+// Caps on the claimed role set of a query: each role must be re-checked
+// against signatures anyway, so these only bound allocation and MSP size.
+constexpr std::size_t kMaxQueryRoles = 1024;
+constexpr std::size_t kMaxRoleBytes = 256;
+
+void AppendChecksum(std::vector<std::uint8_t>* buf) {
+  crypto::Digest d = crypto::Sha256::Hash(buf->data(), buf->size());
+  buf->insert(buf->end(), d.begin(), d.begin() + kFrameChecksumBytes);
+}
+
+bool ValidType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kEqualityQuery) &&
+         t <= static_cast<std::uint8_t>(MsgType::kError);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kEqualityQuery: return "equality-query";
+    case MsgType::kRangeQuery: return "range-query";
+    case MsgType::kJoinQuery: return "join-query";
+    case MsgType::kVoResponse: return "vo-response";
+    case MsgType::kJoinVoResponse: return "join-vo-response";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+const char* RpcErrorCodeName(RpcErrorCode c) {
+  switch (c) {
+    case RpcErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case RpcErrorCode::kRetryLater: return "retry-later";
+    case RpcErrorCode::kShuttingDown: return "shutting-down";
+    case RpcErrorCode::kBadRequest: return "bad-request";
+    case RpcErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+bool RpcErrorRetryable(RpcErrorCode c) {
+  switch (c) {
+    case RpcErrorCode::kDeadlineExceeded:
+    case RpcErrorCode::kRetryLater:
+    case RpcErrorCode::kShuttingDown:
+      return true;
+    case RpcErrorCode::kBadRequest:
+    case RpcErrorCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+const char* FrameDecodeErrorName(FrameDecodeError e) {
+  switch (e) {
+    case FrameDecodeError::kOk: return "ok";
+    case FrameDecodeError::kTruncated: return "truncated";
+    case FrameDecodeError::kBadMagic: return "bad-magic";
+    case FrameDecodeError::kBadVersion: return "bad-version";
+    case FrameDecodeError::kBadType: return "bad-type";
+    case FrameDecodeError::kBadLength: return "bad-length";
+    case FrameDecodeError::kBadChecksum: return "bad-checksum";
+    case FrameDecodeError::kTrailingBytes: return "trailing-bytes";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> EncodeFrame(const Frame& f) {
+  common::ByteWriter w;
+  w.PutBytes(kFrameMagic, sizeof(kFrameMagic));
+  w.PutU8(kFrameVersion);
+  w.PutU8(static_cast<std::uint8_t>(f.type));
+  w.PutU64(f.request_id);
+  w.PutU32(f.deadline_ms);
+  w.PutU32(static_cast<std::uint32_t>(f.payload.size()));
+  w.PutBytes(f.payload.data(), f.payload.size());
+  std::vector<std::uint8_t> buf = w.Take();
+  AppendChecksum(&buf);
+  return buf;
+}
+
+FrameDecodeError DecodeFrame(const std::vector<std::uint8_t>& buf,
+                             Frame* out) {
+  if (buf.size() < kFrameHeaderBytes + kFrameChecksumBytes) {
+    return FrameDecodeError::kTruncated;
+  }
+  common::ByteReader r(buf);
+  std::uint8_t magic[4];
+  r.Get(magic, 4);
+  if (!std::equal(magic, magic + 4, kFrameMagic)) {
+    return FrameDecodeError::kBadMagic;
+  }
+  if (r.GetU8() != kFrameVersion) return FrameDecodeError::kBadVersion;
+  std::uint8_t type = r.GetU8();
+  if (!ValidType(type)) return FrameDecodeError::kBadType;
+  std::uint64_t request_id = r.GetU64();
+  std::uint32_t deadline_ms = r.GetU32();
+  std::uint32_t payload_len = r.GetU32();
+  if (payload_len > kMaxFramePayloadBytes) return FrameDecodeError::kBadLength;
+  std::size_t total =
+      kFrameHeaderBytes + payload_len + kFrameChecksumBytes;
+  if (buf.size() < total) return FrameDecodeError::kTruncated;
+  if (buf.size() > total) return FrameDecodeError::kTrailingBytes;
+  crypto::Digest d =
+      crypto::Sha256::Hash(buf.data(), kFrameHeaderBytes + payload_len);
+  if (!std::equal(d.begin(), d.begin() + kFrameChecksumBytes,
+                  buf.begin() + static_cast<std::ptrdiff_t>(
+                                    kFrameHeaderBytes + payload_len))) {
+    return FrameDecodeError::kBadChecksum;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->request_id = request_id;
+  out->deadline_ms = deadline_ms;
+  out->payload.assign(buf.begin() + kFrameHeaderBytes,
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        kFrameHeaderBytes + payload_len));
+  return FrameDecodeError::kOk;
+}
+
+std::vector<std::uint8_t> EncodeErrorPayload(const ErrorInfo& info) {
+  common::ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(info.code));
+  w.PutU32(info.backoff_hint_ms);
+  w.PutString(info.detail);
+  return w.Take();
+}
+
+bool DecodeErrorPayload(const std::vector<std::uint8_t>& payload,
+                        ErrorInfo* out) {
+  common::ByteReader r(payload);
+  std::uint8_t code = r.GetU8();
+  if (code < static_cast<std::uint8_t>(RpcErrorCode::kDeadlineExceeded) ||
+      code > static_cast<std::uint8_t>(RpcErrorCode::kInternal)) {
+    return false;
+  }
+  out->code = static_cast<RpcErrorCode>(code);
+  out->backoff_hint_ms = r.GetU32();
+  out->detail = r.GetString();
+  return r.ok() && r.AtEnd();
+}
+
+std::vector<std::uint8_t> EncodeQueryPayload(const QueryRequest& req) {
+  common::ByteWriter w;
+  if (req.type == MsgType::kEqualityQuery) {
+    core::WritePoint(&w, req.key);
+  } else {
+    core::WriteBox(&w, req.range);
+  }
+  w.PutU32(static_cast<std::uint32_t>(req.roles.size()));
+  for (const auto& role : req.roles) w.PutString(role);
+  return w.Take();
+}
+
+bool DecodeQueryPayload(MsgType type, const std::vector<std::uint8_t>& payload,
+                        QueryRequest* out) {
+  common::ByteReader r(payload);
+  out->type = type;
+  if (type == MsgType::kEqualityQuery) {
+    out->key = core::ReadPoint(&r);
+  } else if (type == MsgType::kRangeQuery || type == MsgType::kJoinQuery) {
+    out->range = core::ReadBox(&r);  // strict: flags non-well-formed boxes
+  } else {
+    return false;
+  }
+  std::uint32_t count = r.GetU32();
+  if (count > kMaxQueryRoles || !r.CheckCount(count, 4)) return false;
+  out->roles.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::string role = r.GetString();
+    if (role.empty() || role.size() > kMaxRoleBytes) return false;
+    out->roles.insert(std::move(role));
+  }
+  return r.ok() && r.AtEnd();
+}
+
+}  // namespace apqa::net

@@ -1,0 +1,125 @@
+// Wire format of the SP query service.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic "APQF"
+//        4     1  version (kFrameVersion)
+//        5     1  message type (MsgType)
+//        6     8  request id (client-chosen, echoed by the server)
+//       14     4  deadline_ms (client's remaining budget for this attempt;
+//                 0 in responses)
+//       18     4  payload length
+//       22     n  payload
+//     22+n     8  checksum: SHA-256 over bytes [0, 22+n), truncated
+//
+// The checksum detects accidental corruption (a flaky link, a buggy proxy);
+// it is *not* an authenticity mechanism — soundness against a malicious SP
+// rests entirely on the VO verification the payload undergoes afterwards.
+// Decoding is total: arbitrary bytes yield a typed FrameDecodeError, never
+// UB, and the payload is only handed on once the checksum matches.
+//
+// Payload schemas (all little-endian, via common::ByteWriter/ByteReader):
+//   kEqualityQuery            Point key, roles
+//   kRangeQuery / kJoinQuery  Box range, roles
+//   kVoResponse               core::Vo        (core/vo.h serialization)
+//   kJoinVoResponse           core::JoinVo
+//   kError                    u8 code, u32 backoff_hint_ms, string detail
+#ifndef APQA_NET_FRAME_H_
+#define APQA_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+
+namespace apqa::net {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameMagic[4] = {'A', 'P', 'Q', 'F'};
+inline constexpr std::size_t kFrameHeaderBytes = 22;
+inline constexpr std::size_t kFrameChecksumBytes = 8;
+// Hard cap on payload size: a hostile or corrupt length field must never
+// drive allocation beyond this.
+inline constexpr std::size_t kMaxFramePayloadBytes = 16u << 20;
+
+enum class MsgType : std::uint8_t {
+  kEqualityQuery = 1,
+  kRangeQuery = 2,
+  kJoinQuery = 3,
+  kVoResponse = 4,
+  kJoinVoResponse = 5,
+  kError = 6,
+};
+const char* MsgTypeName(MsgType t);
+
+// Server-side error taxonomy carried in kError payloads. Retryable codes
+// describe transient server state; the rest indicate the request itself
+// (or the server) is broken and retrying cannot help.
+enum class RpcErrorCode : std::uint8_t {
+  kDeadlineExceeded = 1,  // request expired in queue before a worker ran it
+  kRetryLater = 2,        // queue full (load shed); honor backoff_hint_ms
+  kShuttingDown = 3,      // server draining; try again elsewhere/later
+  kBadRequest = 4,        // malformed or out-of-domain query
+  kInternal = 5,          // handler threw; not the client's fault, not safe
+                          // to assume a retry changes anything
+};
+const char* RpcErrorCodeName(RpcErrorCode c);
+bool RpcErrorRetryable(RpcErrorCode c);
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class FrameDecodeError : std::uint8_t {
+  kOk = 0,
+  kTruncated,      // shorter than header + declared payload + checksum
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kBadLength,      // declared payload length exceeds kMaxFramePayloadBytes
+  kBadChecksum,
+  kTrailingBytes,  // longer than header + declared payload + checksum
+};
+const char* FrameDecodeErrorName(FrameDecodeError e);
+
+std::vector<std::uint8_t> EncodeFrame(const Frame& f);
+FrameDecodeError DecodeFrame(const std::vector<std::uint8_t>& buf, Frame* out);
+
+// --- kError payload ---------------------------------------------------------
+
+struct ErrorInfo {
+  RpcErrorCode code = RpcErrorCode::kInternal;
+  std::uint32_t backoff_hint_ms = 0;  // meaningful for kRetryLater
+  std::string detail;
+};
+
+std::vector<std::uint8_t> EncodeErrorPayload(const ErrorInfo& info);
+bool DecodeErrorPayload(const std::vector<std::uint8_t>& payload,
+                        ErrorInfo* out);
+
+// --- query payloads ---------------------------------------------------------
+
+// One struct covers the three query types; which geometry field is
+// meaningful follows from `type`.
+struct QueryRequest {
+  MsgType type = MsgType::kEqualityQuery;
+  core::Point key;    // kEqualityQuery
+  core::Box range;    // kRangeQuery / kJoinQuery
+  core::RoleSet roles;
+};
+
+std::vector<std::uint8_t> EncodeQueryPayload(const QueryRequest& req);
+// Strict: returns false unless the payload parses completely (no trailing
+// bytes) into a structurally valid request of the given type.
+bool DecodeQueryPayload(MsgType type, const std::vector<std::uint8_t>& payload,
+                        QueryRequest* out);
+
+}  // namespace apqa::net
+
+#endif  // APQA_NET_FRAME_H_

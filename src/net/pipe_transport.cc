@@ -1,0 +1,62 @@
+#include "net/pipe_transport.h"
+
+#include <chrono>
+
+namespace apqa::net {
+
+std::pair<std::shared_ptr<PipeTransport>, std::shared_ptr<PipeTransport>>
+PipeTransport::CreatePair(std::size_t max_queued_frames) {
+  auto a_in = std::make_shared<Inbox>();
+  auto b_in = std::make_shared<Inbox>();
+  a_in->capacity = max_queued_frames;
+  b_in->capacity = max_queued_frames;
+  auto a = std::make_shared<PipeTransport>(PrivateTag{});
+  auto b = std::make_shared<PipeTransport>(PrivateTag{});
+  a->mine_ = a_in;
+  a->peers_ = b_in;
+  b->mine_ = b_in;
+  b->peers_ = a_in;
+  return {std::move(a), std::move(b)};
+}
+
+bool PipeTransport::Send(const std::vector<std::uint8_t>& frame) {
+  std::shared_ptr<Inbox> peer = peers_;
+  {
+    std::unique_lock<std::mutex> lock(peer->mu);
+    if (peer->closed) return false;
+    // A full peer inbox drops the frame rather than blocking the sender:
+    // the pipe models a datagram link, and the retry layer above owns
+    // reliability.
+    if (peer->frames.size() >= peer->capacity) return true;
+    peer->frames.push_back(frame);
+  }
+  peer->cv.notify_one();
+  return true;
+}
+
+RecvStatus PipeTransport::Recv(std::vector<std::uint8_t>* frame,
+                               std::uint32_t timeout_ms) {
+  std::shared_ptr<Inbox> in = mine_;
+  std::unique_lock<std::mutex> lock(in->mu);
+  bool got = in->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] { return in->closed || !in->frames.empty(); });
+  if (!in->frames.empty()) {
+    *frame = std::move(in->frames.front());
+    in->frames.pop_front();
+    return RecvStatus::kOk;
+  }
+  if (in->closed) return RecvStatus::kClosed;
+  return got ? RecvStatus::kError : RecvStatus::kTimeout;
+}
+
+void PipeTransport::Close() {
+  for (const std::shared_ptr<Inbox>& box : {mine_, peers_}) {
+    {
+      std::unique_lock<std::mutex> lock(box->mu);
+      box->closed = true;
+    }
+    box->cv.notify_all();
+  }
+}
+
+}  // namespace apqa::net

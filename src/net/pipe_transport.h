@@ -1,0 +1,50 @@
+// In-process message pipe: two endpoints connected by a pair of bounded
+// frame queues. Deterministic (no sockets, no kernel buffering policy) and
+// fast, so the chaos suites can push thousands of frames per second through
+// a FaultyTransport decorator without flaking on I/O.
+#ifndef APQA_NET_PIPE_TRANSPORT_H_
+#define APQA_NET_PIPE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/transport.h"
+
+namespace apqa::net {
+
+class PipeTransport : public Transport {
+  struct PrivateTag {};  // gates the constructor to CreatePair
+
+ public:
+  explicit PipeTransport(PrivateTag) {}
+
+  // Returns the two connected endpoints. Each endpoint may outlive the
+  // other; sending to a closed peer fails cleanly.
+  static std::pair<std::shared_ptr<PipeTransport>,
+                   std::shared_ptr<PipeTransport>>
+  CreatePair(std::size_t max_queued_frames = 1024);
+
+  bool Send(const std::vector<std::uint8_t>& frame) override;
+  RecvStatus Recv(std::vector<std::uint8_t>* frame,
+                  std::uint32_t timeout_ms) override;
+  void Close() override;
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> frames;
+    std::size_t capacity = 1024;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Inbox> mine_;   // frames addressed to this endpoint
+  std::shared_ptr<Inbox> peers_;  // frames addressed to the peer
+};
+
+}  // namespace apqa::net
+
+#endif  // APQA_NET_PIPE_TRANSPORT_H_

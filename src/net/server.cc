@@ -1,0 +1,195 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <exception>
+
+#include "common/serde.h"
+
+namespace apqa::net {
+
+namespace {
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsQueryType(MsgType t) {
+  return t == MsgType::kEqualityQuery || t == MsgType::kRangeQuery ||
+         t == MsgType::kJoinQuery;
+}
+
+}  // namespace
+
+SpServer::SpServer(core::ServiceProvider* sp, SpServerOptions opts)
+    : sp_(sp),
+      opts_(opts),
+      pool_(opts.worker_threads, opts.max_queue) {}
+
+SpServer::~SpServer() { Stop(); }
+
+bool SpServer::AttachTransport(std::shared_ptr<Transport> t) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (draining_.load()) return false;
+  transports_.push_back(t);
+  session_threads_.emplace_back([this, t] { SessionLoop(t); });
+  return true;
+}
+
+void SpServer::Stop() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // Second caller (e.g. the destructor after an explicit Stop): wait for
+    // the first to finish tearing down.
+    while (!stopped_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;
+  }
+  // Phase 1: draining_ makes sessions refuse new work; every request
+  // already accepted gets answered.
+  pool_.WaitAll();
+  // Phase 2: wake the sessions out of Recv and join them.
+  stopping_.store(true);
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Transport>> transports;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    threads.swap(session_threads_);
+    transports.swap(transports_);
+  }
+  for (auto& t : transports) t->Close();
+  for (auto& th : threads) th.join();
+  pool_.Stop();
+  stopped_.store(true);
+}
+
+ServerStats SpServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load();
+  s.served = served_.load();
+  s.expired = expired_.load();
+  s.failed = failed_.load();
+  s.shed = shed_.load();
+  s.refused = refused_.load();
+  s.malformed = malformed_.load();
+  return s;
+}
+
+void SpServer::SessionLoop(const std::shared_ptr<Transport>& t) {
+  std::vector<std::uint8_t> buf;
+  while (!stopping_.load()) {
+    RecvStatus st = t->Recv(&buf, opts_.recv_poll_ms);
+    if (st == RecvStatus::kTimeout) continue;
+    if (st == RecvStatus::kClosed || st == RecvStatus::kError) return;
+    Frame frame;
+    if (DecodeFrame(buf, &frame) != FrameDecodeError::kOk ||
+        !IsQueryType(frame.type)) {
+      malformed_.fetch_add(1);
+      continue;
+    }
+    HandleFrame(t, std::move(frame));
+  }
+}
+
+void SpServer::HandleFrame(const std::shared_ptr<Transport>& t, Frame frame) {
+  if (draining_.load()) {
+    refused_.fetch_add(1);
+    ReplyError(t, frame.request_id,
+               {RpcErrorCode::kShuttingDown, opts_.backoff_hint_ms,
+                "server draining"});
+    return;
+  }
+  std::uint64_t arrival_ms = NowMs();
+  std::uint64_t request_id = frame.request_id;
+  bool queued = pool_.TrySubmit(
+      [this, t, frame = std::move(frame), arrival_ms]() mutable {
+        Process(t, frame, arrival_ms);
+      });
+  if (!queued) {
+    shed_.fetch_add(1);
+    ReplyError(t, request_id,
+               {RpcErrorCode::kRetryLater, opts_.backoff_hint_ms,
+                "request queue full"});
+    return;
+  }
+  accepted_.fetch_add(1);
+}
+
+void SpServer::Process(const std::shared_ptr<Transport>& t, const Frame& frame,
+                       std::uint64_t arrival_ms) {
+  // A request that outlived its deadline while queued is answered, not
+  // executed: the client has moved on, and executing it would only delay
+  // requests that are still live.
+  if (frame.deadline_ms > 0 && NowMs() - arrival_ms >= frame.deadline_ms) {
+    expired_.fetch_add(1);
+    ReplyError(t, frame.request_id,
+               {RpcErrorCode::kDeadlineExceeded, 0, "expired in queue"});
+    return;
+  }
+
+  QueryRequest req;
+  if (!DecodeQueryPayload(frame.type, frame.payload, &req)) {
+    failed_.fetch_add(1);
+    ReplyError(t, frame.request_id,
+               {RpcErrorCode::kBadRequest, 0, "query payload failed to parse"});
+    return;
+  }
+  const core::Domain& domain = sp_->keys().domain;
+  bool in_domain =
+      frame.type == MsgType::kEqualityQuery
+          ? domain.ContainsPoint(req.key)
+          : domain.ContainsPoint(req.range.lo) &&
+                domain.ContainsPoint(req.range.hi);
+  if (!in_domain) {
+    failed_.fetch_add(1);
+    ReplyError(t, frame.request_id,
+               {RpcErrorCode::kBadRequest, 0, "query outside domain"});
+    return;
+  }
+
+  Frame resp;
+  resp.request_id = frame.request_id;
+  try {
+    common::ByteWriter w;
+    if (frame.type == MsgType::kJoinQuery) {
+      core::JoinVo vo;
+      {
+        std::lock_guard<std::mutex> lock(sp_mu_);
+        vo = sp_->JoinQuery(req.range, req.roles);
+      }
+      vo.Serialize(&w);
+      resp.type = MsgType::kJoinVoResponse;
+    } else {
+      core::Vo vo;
+      {
+        std::lock_guard<std::mutex> lock(sp_mu_);
+        vo = frame.type == MsgType::kEqualityQuery
+                 ? sp_->EqualityQuery(req.key, req.roles)
+                 : sp_->RangeQuery(req.range, req.roles);
+      }
+      vo.Serialize(&w);
+      resp.type = MsgType::kVoResponse;
+    }
+    resp.payload = w.Take();
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1);
+    ReplyError(t, frame.request_id, {RpcErrorCode::kInternal, 0, e.what()});
+    return;
+  }
+  served_.fetch_add(1);
+  t->Send(EncodeFrame(resp));
+}
+
+void SpServer::ReplyError(const std::shared_ptr<Transport>& t,
+                          std::uint64_t request_id, const ErrorInfo& info) {
+  Frame f;
+  f.type = MsgType::kError;
+  f.request_id = request_id;
+  f.payload = EncodeErrorPayload(info);
+  t->Send(EncodeFrame(f));
+}
+
+}  // namespace apqa::net

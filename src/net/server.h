@@ -1,0 +1,114 @@
+// SpServer: the fault-tolerant query service wrapped around a
+// core::ServiceProvider.
+//
+// One session thread per attached transport receives frames; request
+// handling is pushed onto a bounded ThreadPool queue. The failure story,
+// in order of the request path:
+//
+//   * undecodable frame            → counted, dropped (like a lost datagram;
+//                                    replying to garbage ids helps nobody)
+//   * server draining              → kShuttingDown error (retryable)
+//   * queue full                   → kRetryLater error + backoff hint (shed)
+//   * deadline passed in queue     → kDeadlineExceeded error, the query is
+//                                    never executed (processing work the
+//                                    client has given up on is pure waste)
+//   * malformed / out-of-domain    → kBadRequest error (fatal for client)
+//   * handler threw                → kInternal error
+//   * success                      → kVoResponse / kJoinVoResponse
+//
+// Stop() is drain-then-stop: new requests are refused, every *accepted*
+// request is answered, then sessions are closed and joined. The invariant
+// the shutdown tests assert: accepted == served + expired + failed.
+#ifndef APQA_NET_SERVER_H_
+#define APQA_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+#include "core/thread_pool.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace apqa::net {
+
+struct SpServerOptions {
+  int worker_threads = 2;
+  // Bounded request queue; TrySubmit beyond this sheds with kRetryLater.
+  std::size_t max_queue = 8;
+  // Backoff hint attached to kRetryLater / kShuttingDown responses.
+  std::uint32_t backoff_hint_ms = 25;
+  // Session-loop poll granularity: how quickly a session notices Stop().
+  std::uint32_t recv_poll_ms = 50;
+};
+
+// Monotonic counters; `accepted` splits exactly into served+expired+failed.
+struct ServerStats {
+  std::uint64_t accepted = 0;   // queued for a worker
+  std::uint64_t served = 0;     // answered with a VO
+  std::uint64_t expired = 0;    // answered kDeadlineExceeded from the queue
+  std::uint64_t failed = 0;     // answered kBadRequest / kInternal
+  std::uint64_t shed = 0;       // answered kRetryLater (queue full)
+  std::uint64_t refused = 0;    // answered kShuttingDown (draining)
+  std::uint64_t malformed = 0;  // undecodable frames dropped
+};
+
+class SpServer {
+ public:
+  // `sp` must outlive the server. ServiceProvider is not internally
+  // synchronized (shared Rng), so query execution is serialized with a
+  // mutex; workers still overlap on framing, checksums, and (de)serialization.
+  explicit SpServer(core::ServiceProvider* sp, SpServerOptions opts = {});
+  ~SpServer();
+
+  SpServer(const SpServer&) = delete;
+  SpServer& operator=(const SpServer&) = delete;
+
+  // Spawns a session thread serving frames from `t` until Stop() or the
+  // peer closes. Returns false once Stop() has begun.
+  bool AttachTransport(std::shared_ptr<Transport> t);
+
+  // Drain-then-stop. Safe to call once; the destructor calls it.
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  ServerStats stats() const;
+
+ private:
+  void SessionLoop(const std::shared_ptr<Transport>& t);
+  void HandleFrame(const std::shared_ptr<Transport>& t, Frame frame);
+  // Runs on a pool worker: deadline check, decode, execute, reply.
+  void Process(const std::shared_ptr<Transport>& t, const Frame& frame,
+               std::uint64_t arrival_ms);
+  void ReplyError(const std::shared_ptr<Transport>& t,
+                  std::uint64_t request_id, const ErrorInfo& info);
+
+  core::ServiceProvider* sp_;
+  SpServerOptions opts_;
+  core::ThreadPool pool_;
+  std::mutex sp_mu_;  // serializes ServiceProvider query execution
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex sessions_mu_;
+  std::vector<std::thread> session_threads_;
+  std::vector<std::shared_ptr<Transport>> transports_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+};
+
+}  // namespace apqa::net
+
+#endif  // APQA_NET_SERVER_H_

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/thread_pool.h"
 
@@ -52,6 +54,79 @@ TEST(ThreadPoolTest, DestructionWithPendingWaiters) {
   pool->ParallelFor(8, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 8);
   pool.reset();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  // Tasks already queued when the destructor runs are executed, not lost.
+  std::atomic<int> count{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    ThreadPool pool(2);
+    // Occupy every worker so the remaining submits stay queued.
+    for (int i = 0; i < 2; ++i) {
+      pool.Submit([gate] { gate.wait(); });
+    }
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    release.set_value();
+  }  // ~ThreadPool → Stop(): drain then join
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsWhenQueueIsFull) {
+  ThreadPool pool(2, /*max_queue=*/3);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> count{0};
+  // Fill the workers, then the queue.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([gate] { gate.wait(); }));
+  }
+  int accepted = 0, shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pool.TrySubmit([&] { count.fetch_add(1); })) {
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0) << "bounded queue never rejected";
+  EXPECT_LE(pool.queued(), 3u);
+  release.set_value();
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), accepted);
+  // With the workers idle again, TrySubmit succeeds once more.
+  EXPECT_TRUE(pool.TrySubmit([&] { count.fetch_add(1); }));
+  pool.WaitAll();
+  EXPECT_EQ(count.load(), accepted + 1);
+}
+
+TEST(ThreadPoolTest, TrySubmitSynchronousFallbackRunsInline) {
+  ThreadPool pool(1, /*max_queue=*/1);  // 0 workers → inline execution
+  int x = 0;
+  EXPECT_TRUE(pool.TrySubmit([&] { x = 7; }));
+  EXPECT_EQ(x, 7);
+}
+
+TEST(ThreadPoolTest, SubmitAfterStopHasDefinedBehavior) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.WaitAll();
+  pool.Stop();
+  EXPECT_THROW(pool.Submit([&] { count.fetch_add(1); }), std::runtime_error);
+  EXPECT_FALSE(pool.TrySubmit([&] { count.fetch_add(1); }));
+  EXPECT_EQ(count.load(), 1);
+  pool.Stop();  // idempotent
+}
+
+TEST(ThreadPoolTest, SubmitAfterStopOnSynchronousPoolAlsoThrows) {
+  ThreadPool pool(1);  // 0 workers
+  pool.Stop();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  EXPECT_FALSE(pool.TrySubmit([] {}));
 }
 
 }  // namespace
