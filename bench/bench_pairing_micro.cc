@@ -1,97 +1,232 @@
-// Micro-benchmark (ablation): pairing-layer primitive costs. Justifies the
-// shared-final-exponentiation design of ABS verification — a multi-pairing
-// of n pairs costs n Miller loops plus ONE final exponentiation.
-#include <benchmark/benchmark.h>
+// Micro-benchmark (ablation): the prepared-pairing verification engine vs.
+// the paths it replaced.
+//
+//   miller loop   — sparse-line MillerLoop vs. the affine audit oracle
+//                   MillerLoopGeneric, and MillerLoopPrepared on a cached
+//                   G2Prepared coefficient table.
+//   final exp     — the cyclotomic BLS12 chain vs. the exact
+//                   FinalExponentiationGeneric square-and-multiply ladder.
+//   pairing       — Pairing(p, q) vs. PairWith(p, prepared) plus the
+//                   pre-engine baseline (generic Miller loop + generic FE),
+//                   and the one-off G2Prepared construction cost.
+//   fp12          — full Fp12 mul vs. MulBySparseLine on line-shaped operands.
+//   multipairing  — on-the-fly MultiPairing vs. MultiPairingPrepared with
+//                   every G2 input served from a cached table.
+//   abs           — end-to-end ABS verify: the prepared engine (Abs::Verify)
+//                   vs. the pre-engine path (Abs::VerifyUnprepared), same
+//                   signature, same run.
+//   range vo      — user-side range-VO verification, serial vs. 4-thread
+//                   ThreadPool fan-out (core/parallel_verify.h).
+//
+// Every row is also emitted through the JSON trajectory sink (bench_util.h):
+//   APQA_BENCH_JSON=BENCH_pairing.json ./bench_pairing_micro  (or --json=PATH)
+#include <cinttypes>
 
+#include "abs/abs.h"
+#include "bench_util.h"
 #include "crypto/pairing.h"
-#include "crypto/rng.h"
+#include "crypto/pairing_prepared.h"
 
 namespace {
 
+using namespace apqa;
 using namespace apqa::crypto;
+using apqa::bench::RecordJson;
+using apqa::bench::Timer;
 
-void BM_G1ScalarMul(benchmark::State& state) {
-  Rng rng(1);
-  G1 p = G1Mul(rng.NextNonZeroFr());
-  Fr k = rng.NextNonZeroFr();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.ScalarMul(k));
+constexpr const char* kBench = "pairing_micro";
+
+// Keeps results alive without pulling in google-benchmark.
+template <typename T>
+void Sink(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+// Runs fn `iters` times and returns mean milliseconds per call.
+template <typename Fn>
+double TimeMs(int iters, Fn&& fn) {
+  Timer t;
+  for (int i = 0; i < iters; ++i) fn();
+  return t.ElapsedMs() / iters;
+}
+
+void Report(const char* row, double ms) {
+  std::printf("  %-32s %10.3f ms\n", row, ms);
+  RecordJson(kBench, row, ms);
+}
+
+void Speedup(const char* row, double baseline, double engine) {
+  std::printf("  %-32s %10.2fx\n", row, baseline / engine);
+  RecordJson(kBench, row, baseline / engine);
+}
+
+void BenchMillerLoop(Rng* rng, int iters) {
+  std::printf("Miller loop: generic vs sparse-line vs prepared\n");
+  G1 p = G1Mul(rng->NextNonZeroFr());
+  G2 q = G2Mul(rng->NextNonZeroFr());
+  G2Prepared prep(q);
+  double generic = TimeMs(iters, [&] { Sink(MillerLoopGeneric(p, q)); });
+  Report("miller_generic", generic);
+  double sparse = TimeMs(iters, [&] { Sink(MillerLoop(p, q)); });
+  Report("miller_sparse", sparse);
+  double prepared = TimeMs(iters, [&] { Sink(MillerLoopPrepared(p, prep)); });
+  Report("miller_prepared", prepared);
+  Speedup("miller_prepared_vs_generic", generic, prepared);
+}
+
+void BenchFinalExp(Rng* rng, int iters) {
+  std::printf("final exponentiation: generic ladder vs cyclotomic chain\n");
+  GT f = MillerLoop(G1Mul(rng->NextNonZeroFr()), G2Mul(rng->NextNonZeroFr()));
+  double generic = TimeMs(iters, [&] { Sink(FinalExponentiationGeneric(f)); });
+  Report("final_exp_generic", generic);
+  double fast = TimeMs(iters, [&] { Sink(FinalExponentiation(f)); });
+  Report("final_exp_cyclotomic", fast);
+  Speedup("final_exp_speedup", generic, fast);
+}
+
+void BenchPairing(Rng* rng, int iters) {
+  std::printf("single pairing: pre-engine vs on-the-fly vs prepared\n");
+  G1 p = G1Mul(rng->NextNonZeroFr());
+  G2 q = G2Mul(rng->NextNonZeroFr());
+  // The seed pairing: affine Miller loop + exact-ladder final exponentiation
+  // (what Pairing(p, q) cost before the engine landed).
+  double seed = TimeMs(iters, [&] {
+    Sink(FinalExponentiationGeneric(MillerLoopGeneric(p, q)));
+  });
+  Report("pairing_pre_engine", seed);
+  double onthefly = TimeMs(iters, [&] { Sink(Pairing(p, q)); });
+  Report("pairing_onthefly", onthefly);
+  double prepare = TimeMs(iters, [&] { Sink(G2Prepared(q)); });
+  Report("g2_prepare", prepare);
+  G2Prepared prep(q);
+  double prepared = TimeMs(iters, [&] { Sink(PairWith(p, prep)); });
+  Report("pairing_prepared", prepared);
+  Speedup("pairing_prepared_vs_pre_engine", seed, prepared);
+  Speedup("pairing_prepared_vs_onthefly", onthefly, prepared);
+}
+
+void BenchFp12Mul(Rng* rng, int iters) {
+  std::printf("Fp12 line fold: full mul vs sparse-line mul\n");
+  GT a = MillerLoop(G1Mul(rng->NextNonZeroFr()), G2Mul(rng->NextNonZeroFr()));
+  // Line-shaped operand: only the w^0, w^2, w^3 slots are non-zero.
+  Fp2 a0 = a.c0.c0, a2 = a.c0.c1, a3 = a.c1.c1;
+  GT line = Fp12::FromSparseLine(a0, a2, a3);
+  double full = TimeMs(iters, [&] { Sink(a * line); });
+  Report("fp12_mul_full", full);
+  double sparse = TimeMs(iters, [&] { Sink(a.MulBySparseLine(a0, a2, a3)); });
+  Report("fp12_mul_sparse_line", sparse);
+  Speedup("fp12_sparse_speedup", full, sparse);
+}
+
+void BenchMultiPairing(Rng* rng, bool fast) {
+  std::printf("multi-pairing: on-the-fly vs prepared tables\n");
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    if (fast && n > 4) break;
+    std::vector<std::pair<G1, G2>> pairs;
+    std::vector<G2Prepared> tables;
+    tables.reserve(n);
+    std::vector<PreparedPair> prepared;
+    for (std::size_t j = 0; j < n; ++j) {
+      pairs.emplace_back(G1Mul(rng->NextNonZeroFr()),
+                         G2Mul(rng->NextNonZeroFr()));
+      tables.emplace_back(pairs.back().second);
+      prepared.push_back(PreparedPair{pairs.back().first, &tables.back()});
+    }
+    int iters = fast ? 2 : 5;
+    double fresh = TimeMs(iters, [&] { Sink(MultiPairing(pairs)); });
+    char row[64];
+    std::snprintf(row, sizeof(row), "multipairing_onthefly_n%zu", n);
+    Report(row, fresh);
+    double prep = TimeMs(iters, [&] { Sink(MultiPairingPrepared(prepared)); });
+    std::snprintf(row, sizeof(row), "multipairing_prepared_n%zu", n);
+    Report(row, prep);
+    std::snprintf(row, sizeof(row), "multipairing_speedup_n%zu", n);
+    Speedup(row, fresh, prep);
   }
 }
-BENCHMARK(BM_G1ScalarMul);
 
-void BM_G2ScalarMul(benchmark::State& state) {
-  Rng rng(2);
-  G2 p = G2Mul(rng.NextNonZeroFr());
-  Fr k = rng.NextNonZeroFr();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.ScalarMul(k));
+void BenchAbsVerify(bool fast) {
+  std::printf("ABS verify end-to-end: prepared engine vs pre-engine path\n");
+  crypto::Rng rng(11);
+  abs::MasterKey msk;
+  abs::VerifyKey mvk;
+  abs::Abs::Setup(&rng, &msk, &mvk);
+  policy::RoleSet universe;
+  for (int i = 0; i < 16; ++i) universe.insert("Role" + std::to_string(i));
+  abs::SigningKey sk = abs::Abs::KeyGen(msk, universe, &rng);
+  std::vector<policy::Clause> clauses;
+  for (int i = 0; i + 1 < 12; i += 2) {
+    clauses.push_back({"Role" + std::to_string(i),
+                       "Role" + std::to_string(i + 1)});
   }
-}
-BENCHMARK(BM_G2ScalarMul);
+  policy::Policy pred = policy::Policy::FromDnfClauses(clauses);
+  std::vector<std::uint8_t> msg = {'p', 'a', 'i', 'r'};
+  auto sig = abs::Abs::Sign(mvk, sk, msg, pred, &rng);
 
-void BM_MillerLoop(benchmark::State& state) {
-  Rng rng(3);
-  G1 p = G1Mul(rng.NextNonZeroFr());
-  G2 q = G2Mul(rng.NextNonZeroFr());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MillerLoop(p, q));
-  }
-}
-BENCHMARK(BM_MillerLoop);
+  // Warm both paths once so table construction is not billed to either row.
+  Sink(abs::Abs::Verify(mvk, msg, pred, *sig));
+  Sink(abs::Abs::VerifyUnprepared(mvk, msg, pred, *sig));
 
-void BM_MillerLoopGeneric(benchmark::State& state) {
-  Rng rng(3);
-  G1 p = G1Mul(rng.NextNonZeroFr());
-  G2 q = G2Mul(rng.NextNonZeroFr());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MillerLoopGeneric(p, q));
-  }
+  int iters = fast ? 2 : 8;
+  double unprepared = TimeMs(iters, [&] {
+    Sink(abs::Abs::VerifyUnprepared(mvk, msg, pred, *sig));
+  });
+  Report("abs_verify_unprepared_len12", unprepared);
+  double prepared = TimeMs(iters, [&] {
+    Sink(abs::Abs::Verify(mvk, msg, pred, *sig));
+  });
+  Report("abs_verify_prepared_len12", prepared);
+  Speedup("abs_verify_speedup", unprepared, prepared);
 }
-BENCHMARK(BM_MillerLoopGeneric);
 
-void BM_FinalExponentiation(benchmark::State& state) {
-  Rng rng(4);
-  GT f = MillerLoop(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(FinalExponentiation(f));
+void BenchRangeVoVerify(bool fast) {
+  std::printf("range-VO verification: serial vs 4-thread pool\n");
+  core::Domain domain{/*dims=*/1, /*bits=*/6};
+  core::DataOwner owner(policy::RoleSet{"RoleA", "RoleB"}, domain, 20260807);
+  std::vector<core::Record> records;
+  int n = fast ? 12 : 48;
+  for (int k = 0; k < n; ++k) {
+    records.push_back(core::Record{
+        core::Point{static_cast<std::uint32_t>(k)}, "v" + std::to_string(k),
+        policy::Policy::Parse((k % 3 == 0) ? "RoleA" : "RoleA & RoleB")});
   }
-}
-BENCHMARK(BM_FinalExponentiation);
+  core::ServiceProvider sp(owner.keys(), owner.BuildAds(records));
+  core::UserCredentials creds = owner.EnrollUser({"RoleA"});
+  const core::SystemKeys& keys = owner.keys();
+  core::Box range{core::Point{0}, core::Point{static_cast<std::uint32_t>(n - 1)}};
+  core::Vo vo = sp.RangeQuery(range, creds.roles);
+  core::ThreadPool pool(4);
 
-void BM_FullPairing(benchmark::State& state) {
-  Rng rng(5);
-  G1 p = G1Mul(rng.NextNonZeroFr());
-  G2 q = G2Mul(rng.NextNonZeroFr());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Pairing(p, q));
-  }
+  int iters = fast ? 1 : 5;
+  double serial = TimeMs(iters, [&] {
+    Sink(core::VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                               keys.universe, vo, nullptr));
+  });
+  Report("range_vo_verify_serial", serial);
+  double pooled = TimeMs(iters, [&] {
+    Sink(core::VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                               keys.universe, vo, nullptr,
+                               /*exact_pairings=*/false, &pool));
+  });
+  Report("range_vo_verify_pool4", pooled);
+  Speedup("range_vo_pool_speedup", serial, pooled);
 }
-BENCHMARK(BM_FullPairing);
-
-void BM_MultiPairing(benchmark::State& state) {
-  Rng rng(6);
-  std::vector<std::pair<G1, G2>> pairs;
-  for (int i = 0; i < state.range(0); ++i) {
-    pairs.emplace_back(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MultiPairing(pairs));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_MultiPairing)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
-
-void BM_Fp12Mul(benchmark::State& state) {
-  Rng rng(7);
-  GT a = Pairing(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
-  GT b = a * a;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a * b);
-  }
-}
-BENCHMARK(BM_Fp12Mul);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  apqa::bench::EnableJsonFromArgs(argc, argv);
+  apqa::bench::PrintHeader("Pairing micro",
+                           "prepared-pairing verification engine ablation");
+  bool fast = apqa::bench::FastMode();
+  Rng rng(20260807);
+  int iters = fast ? 2 : 10;
+  BenchMillerLoop(&rng, iters);
+  BenchFinalExp(&rng, iters);
+  BenchPairing(&rng, iters);
+  BenchFp12Mul(&rng, fast ? 100 : 2000);
+  BenchMultiPairing(&rng, fast);
+  BenchAbsVerify(fast);
+  BenchRangeVoVerify(fast);
+  return 0;
+}

@@ -13,6 +13,8 @@
 #      secrets) — clang-only; skipped with a notice under GCC, where the
 #      trace-equivalence tests in ct_check_test (already run in step 2)
 #      cover the same ladders
+#   8. perf smoke: one fast-mode run of bench_pairing_micro with the JSON
+#      sink enabled; fails if the expected rows never reach the file
 #
 # Usage: scripts/check.sh [--quick|--skip-sanitize]
 #   --quick          lint + Release build + ctest only
@@ -99,5 +101,19 @@ else
   echo "clang++ not installed; MSan CtPoison oracle skipped" \
        "(trace-equivalence tests in ct_check_test already ran)"
 fi
+
+echo "=== perf smoke (bench_pairing_micro, fast mode) ==="
+cmake --build build -j --target bench_pairing_micro >/dev/null
+PERF_JSON=$(mktemp /tmp/BENCH_pairing_smoke.XXXXXX.json)
+rm -f "$PERF_JSON"
+APQA_BENCH_FAST=1 APQA_BENCH_JSON="$PERF_JSON" \
+  ./build/bench/bench_pairing_micro >/dev/null
+for row in pairing_prepared abs_verify_prepared_len12 range_vo_verify_pool4; do
+  if ! grep -q "\"row\":\"$row\"" "$PERF_JSON"; then
+    echo "perf smoke: row '$row' missing from $PERF_JSON" >&2
+    exit 1
+  fi
+done
+rm -f "$PERF_JSON"
 
 echo "=== all checks passed ==="

@@ -21,6 +21,7 @@
 #include "common/serde.h"
 #include "crypto/msm.h"
 #include "crypto/pairing.h"
+#include "crypto/pairing_prepared.h"
 #include "crypto/rng.h"
 #include "policy/msp.h"
 #include "policy/policy.h"
@@ -49,15 +50,31 @@ struct VerifyKey {
   // role scalars over and over).
   G2 AttributeBase(const Fr& u) const;
 
+  // Prepared-pairing table for h^(a + b*u), memoized like AttributeBase.
+  // The returned reference stays valid for the key's lifetime (map nodes
+  // are stable) and the table is immutable once built, so it is safe to
+  // share read-only across verifier threads.
+  const crypto::G2Prepared& AttributeBasePrepared(const Fr& u) const;
+
+  // Memoized constant e(g, h) — the generator pairing warmed alongside the
+  // prepared tables so callers (warm-up paths, benches, tests) never
+  // re-derive it.
+  const crypto::GT& GeneratorPairing() const;
+
   // Fixed-base tables for the key components that every sign/relax/verify
-  // multiplies: G = g, C = c over G1 and A = h^a, B = h^b over G2 (the
-  // remaining components h0/h/a0 only ever appear as pairing inputs).
+  // multiplies: G = g, C = c over G1 and A = h^a, B = h^b over G2 — plus
+  // prepared-pairing line tables for the fixed G2 pairing inputs h0/h/a0,
+  // so verification never redoes their Miller-loop G2 arithmetic.
   // Built lazily on first use and shared by copies taken afterwards.
   struct Precomp {
     crypto::FixedBaseTable<crypto::Fp> g_tab, c_tab;
     crypto::FixedBaseTable<crypto::Fp2> a_tab, b_tab;
+    crypto::G2Prepared h0_prep, h_prep, a0_prep;
     mutable std::mutex attr_mu;
     mutable std::map<crypto::Limbs<4>, G2> attr_base;  // keyed by canonical u
+    mutable std::map<crypto::Limbs<4>, crypto::G2Prepared> attr_prep;
+    mutable std::once_flag gen_pairing_once;
+    mutable crypto::GT gen_pairing;  // e(g, h), built on first use
   };
   const Precomp& precomp() const;
 
@@ -128,10 +145,20 @@ class Abs {
 
   // ABS.Verify. `exact` checks every span-program column equation separately
   // (slower); the default folds them with random weights into a single
-  // multi-pairing (standard batching, sound up to 2^-128).
+  // multi-pairing (standard batching, sound up to 2^-128). Both paths run
+  // on the prepared-pairing engine: line tables for the fixed mvk
+  // components and memoized attribute bases are reused across calls.
   static bool Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
                      const Policy& predicate, const Signature& sig,
                      bool exact = false);
+
+  // The pre-engine verifier (on-the-fly MultiPairing, no cached G2 tables).
+  // Kept as the same-run baseline for benches and as a differential oracle
+  // for tests, mirroring MillerLoopGeneric's role in the crypto layer.
+  static bool VerifyUnprepared(const VerifyKey& mvk,
+                               const std::vector<std::uint8_t>& msg,
+                               const Policy& predicate, const Signature& sig,
+                               bool exact = false);
 
   // ABS.Relax (Algorithm 2): derives a signature on ∨_{a∈relax_to} a from a
   // signature on `predicate`. Fails iff predicate(𝔸 \ relax_to) = 1.

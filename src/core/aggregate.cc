@@ -7,10 +7,11 @@ namespace apqa::core {
 std::optional<AggregateResult> VerifyAndAggregateEx(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
-    const MeasureFn& measure, VerifyResult* why) {
+    const MeasureFn& measure, VerifyResult* why, ThreadPool* pool) {
   std::vector<Record> results;
   VerifyResult r = VerifyRangeVoEx(mvk, domain, range, user_roles, universe,
-                                   vo, &results);
+                                   vo, &results, /*exact_pairings=*/false,
+                                   pool);
   if (why != nullptr) *why = r;
   if (!r.ok()) return std::nullopt;
   AggregateResult agg;
@@ -28,10 +29,10 @@ std::optional<AggregateResult> VerifyAndAggregateEx(
 std::optional<AggregateResult> VerifyAndAggregate(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
-    const MeasureFn& measure, std::string* error) {
+    const MeasureFn& measure, std::string* error, ThreadPool* pool) {
   VerifyResult why;
   auto agg = VerifyAndAggregateEx(mvk, domain, range, user_roles, universe, vo,
-                                  measure, &why);
+                                  measure, &why, pool);
   if (!agg.has_value() && error != nullptr) *error = why.ToString();
   return agg;
 }

@@ -39,17 +39,20 @@ using MeasureFn = std::function<std::optional<double>(const Record&)>;
 
 // Verifies the VO and, on success, aggregates the accessible results.
 // Returns nullopt if verification fails; `why` (if not null) receives the
-// structured verification result either way.
+// structured verification result either way. A non-null `pool` is passed
+// through to the underlying range verification.
 std::optional<AggregateResult> VerifyAndAggregateEx(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
-    const MeasureFn& measure, VerifyResult* why = nullptr);
+    const MeasureFn& measure, VerifyResult* why = nullptr,
+    ThreadPool* pool = nullptr);
 
 // Legacy bool-style API; `error` receives the stringified result.
 std::optional<AggregateResult> VerifyAndAggregate(
     const VerifyKey& mvk, const Domain& domain, const Box& range,
     const RoleSet& user_roles, const RoleSet& universe, const Vo& vo,
-    const MeasureFn& measure, std::string* error);
+    const MeasureFn& measure, std::string* error,
+    ThreadPool* pool = nullptr);
 
 // Convenience measure: parses the record value as a decimal number.
 std::optional<double> NumericValueMeasure(const Record& record);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel_verify.h"
 #include "core/vo.h"
 
 namespace apqa::core {
@@ -197,7 +198,7 @@ ContinuousVo ContinuousVo::Deserialize(common::ByteReader* r) {
 VerifyResult VerifyContinuousRangeVoEx(
     const VerifyKey& mvk, std::uint64_t alpha, std::uint64_t beta,
     const RoleSet& user_roles, const RoleSet& universe, const ContinuousVo& vo,
-    std::vector<ContinuousRecord>* results) {
+    std::vector<ContinuousRecord>* results, ThreadPool* pool) {
   if (alpha > beta) {
     return VerifyResult::Fail(VerifyCode::kBadQuery,
                               "query range is inverted");
@@ -259,50 +260,64 @@ VerifyResult VerifyContinuousRangeVoEx(
                               "range not fully covered");
   }
 
+  // Structural pass in sequential order; signature checks run through a
+  // SigBatch so a pool changes timing only (see core/parallel_verify.h).
+  SigBatch batch(mvk, /*exact_pairings=*/false);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> result_job(vo.results.size(), -1);
   for (std::size_t i = 0; i < vo.results.size(); ++i) {
     const auto& e = vo.results[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!e.policy.Evaluate(user_roles)) {
-      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                "result policy not satisfied", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                       "result policy not satisfied", idx);
+      break;
     }
-    if (!abs::Abs::Verify(mvk, ContinuousRecordMessage(e.key, e.value),
-                          e.policy, e.app_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "record APP signature verification failed",
-                                idx);
+    result_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+        ContinuousRecordMessage(e.key, e.value), &e.policy, &e.app_sig,
+        VerifyResult::Fail(VerifyCode::kBadSignature,
+                           "record APP signature verification failed", idx)));
+  }
+  if (struct_fail.ok()) {
+    for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
+      const auto& e = vo.inaccessible[i];
+      batch.Add(ContinuousRecordMessageFromHash(e.key, e.value_hash),
+                &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "record APS signature verification failed",
+                                   static_cast<std::ptrdiff_t>(i)));
     }
-    if (results != nullptr) {
-      results->push_back(ContinuousRecord{e.key, e.value, e.policy});
+    for (std::size_t i = 0; i < vo.gaps.size(); ++i) {
+      const auto& e = vo.gaps[i];
+      batch.Add(GapMessage(e.gap), &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "gap APS signature verification failed",
+                                   static_cast<std::ptrdiff_t>(i)));
     }
   }
-  for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
-    const auto& e = vo.inaccessible[i];
-    auto msg = ContinuousRecordMessageFromHash(e.key, e.value_hash);
-    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "record APS signature verification failed",
-                                static_cast<std::ptrdiff_t>(i));
+
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.results.size(); ++i) {
+      const auto& e = vo.results[i];
+      if (result_job[i] < 0) continue;
+      if (static_cast<std::size_t>(result_job[i]) < emit) {
+        results->push_back(ContinuousRecord{e.key, e.value, e.policy});
+      }
     }
   }
-  for (std::size_t i = 0; i < vo.gaps.size(); ++i) {
-    const auto& e = vo.gaps[i];
-    if (!abs::Abs::Verify(mvk, GapMessage(e.gap), super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "gap APS signature verification failed",
-                                static_cast<std::ptrdiff_t>(i));
-    }
-  }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
                              std::uint64_t beta, const RoleSet& user_roles,
                              const RoleSet& universe, const ContinuousVo& vo,
                              std::vector<ContinuousRecord>* results,
-                             std::string* error) {
+                             std::string* error, ThreadPool* pool) {
   VerifyResult r = VerifyContinuousRangeVoEx(mvk, alpha, beta, user_roles,
-                                             universe, vo, results);
+                                             universe, vo, results, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }
@@ -344,7 +359,8 @@ ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
 VerifyResult VerifyContinuousEqualityVoEx(
     const VerifyKey& mvk, std::uint64_t key, const RoleSet& user_roles,
     const RoleSet& universe, const ContinuousVo& vo,
-    std::optional<ContinuousRecord>* result) {
+    std::optional<ContinuousRecord>* result, ThreadPool* pool) {
+  (void)pool;  // single signature: nothing to fan out
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
   std::size_t total = vo.results.size() + vo.inaccessible.size() +
@@ -402,9 +418,9 @@ bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
                                 const RoleSet& user_roles,
                                 const RoleSet& universe, const ContinuousVo& vo,
                                 std::optional<ContinuousRecord>* result,
-                                std::string* error) {
+                                std::string* error, ThreadPool* pool) {
   VerifyResult r = VerifyContinuousEqualityVoEx(mvk, key, user_roles, universe,
-                                                vo, result);
+                                                vo, result, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

@@ -19,6 +19,7 @@
 #include "common/serde.h"
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/thread_pool.h"
 #include "core/verify_result.h"
 
 namespace apqa::core {
@@ -99,19 +100,22 @@ ContinuousVo BuildContinuousRangeVo(const ContinuousAds& ads,
                                     const RoleSet& universe, Rng* rng);
 
 // User side: soundness + completeness (the points and open gaps must tile
-// [alpha, beta] exactly).
+// [alpha, beta] exactly). A non-null `pool` fans the signature checks out
+// across its threads with diagnostics identical to the serial path (see
+// core/parallel_verify.h).
 VerifyResult VerifyContinuousRangeVoEx(const VerifyKey& mvk,
                                        std::uint64_t alpha, std::uint64_t beta,
                                        const RoleSet& user_roles,
                                        const RoleSet& universe,
                                        const ContinuousVo& vo,
-                                       std::vector<ContinuousRecord>* results);
+                                       std::vector<ContinuousRecord>* results,
+                                       ThreadPool* pool = nullptr);
 
 bool VerifyContinuousRangeVo(const VerifyKey& mvk, std::uint64_t alpha,
                              std::uint64_t beta, const RoleSet& user_roles,
                              const RoleSet& universe, const ContinuousVo& vo,
                              std::vector<ContinuousRecord>* results,
-                             std::string* error);
+                             std::string* error, ThreadPool* pool = nullptr);
 
 // SP side: equality query. Either one record entry (result/inaccessible) or
 // one gap entry proving absence.
@@ -120,16 +124,19 @@ ContinuousVo BuildContinuousEqualityVo(const ContinuousAds& ads,
                                        const RoleSet& user_roles,
                                        const RoleSet& universe, Rng* rng);
 
+// `pool` is accepted for API uniformity; an equality VO carries a single
+// signature, so the check runs inline.
 VerifyResult VerifyContinuousEqualityVoEx(
     const VerifyKey& mvk, std::uint64_t key, const RoleSet& user_roles,
     const RoleSet& universe, const ContinuousVo& vo,
-    std::optional<ContinuousRecord>* result);
+    std::optional<ContinuousRecord>* result, ThreadPool* pool = nullptr);
 
 bool VerifyContinuousEqualityVo(const VerifyKey& mvk, std::uint64_t key,
                                 const RoleSet& user_roles,
                                 const RoleSet& universe, const ContinuousVo& vo,
                                 std::optional<ContinuousRecord>* result,
-                                std::string* error);
+                                std::string* error,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace apqa::core
 

@@ -1,5 +1,6 @@
 #include "core/duplicates.h"
 
+#include "core/parallel_verify.h"
 #include "core/range_query.h"
 
 #include <algorithm>
@@ -391,7 +392,8 @@ std::size_t DupVo::SerializedSize() const {
 VerifyResult VerifyDupRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const Box& range, const RoleSet& user_roles,
                                 const RoleSet& universe, const DupVo& vo,
-                                std::vector<Record>* results) {
+                                std::vector<Record>* results,
+                                ThreadPool* pool) {
   if (!range.WellFormed() ||
       range.lo.size() != static_cast<std::size_t>(domain.dims) ||
       !domain.FullBox().ContainsBox(range)) {
@@ -417,74 +419,105 @@ VerifyResult VerifyDupRangeVoEx(const VerifyKey& mvk, const Domain& domain,
     return g.ids.insert(dup_id).second;
   };
 
+  // Structural pass in sequential order; signature checks run through a
+  // SigBatch so a pool changes timing only (see core/parallel_verify.h).
+  // The group-completeness and coverage checks sit between the record and
+  // box signature checks in the sequential verifier, so box jobs are only
+  // queued once those structural checks pass.
+  SigBatch batch(mvk, /*exact_pairings=*/false);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> result_job(vo.results.size(), -1);
   for (std::size_t i = 0; i < vo.results.size(); ++i) {
     const DupVo::DupResultEntry& e = vo.results[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!account(e.key, e.dup_num, e.dup_id)) {
-      return VerifyResult::Fail(VerifyCode::kDuplicateBookkeeping,
-                                "inconsistent duplicate bookkeeping (result)",
-                                idx);
+      struct_fail = VerifyResult::Fail(
+          VerifyCode::kDuplicateBookkeeping,
+          "inconsistent duplicate bookkeeping (result)", idx);
+      break;
     }
     if (!e.policy.Evaluate(user_roles)) {
-      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                "result policy not satisfied", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                       "result policy not satisfied", idx);
+      break;
     }
-    auto msg = DupRecordMessage(e.key, e.value, e.dup_num, e.dup_id);
-    if (!abs::Abs::Verify(mvk, msg, e.policy, e.app_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "dup APP signature verification failed", idx);
-    }
-    if (results != nullptr) results->push_back(Record{e.key, e.value, e.policy});
+    result_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+        DupRecordMessage(e.key, e.value, e.dup_num, e.dup_id), &e.policy,
+        &e.app_sig,
+        VerifyResult::Fail(VerifyCode::kBadSignature,
+                           "dup APP signature verification failed", idx)));
   }
-  for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
-    const DupVo::DupInaccessibleEntry& e = vo.inaccessible[i];
-    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
-    if (!account(e.key, e.dup_num, e.dup_id)) {
-      return VerifyResult::Fail(
-          VerifyCode::kDuplicateBookkeeping,
-          "inconsistent duplicate bookkeeping (inaccessible)", idx);
-    }
-    auto msg = DupRecordMessageFromHash(e.key, e.value_hash, e.dup_num,
-                                        e.dup_id);
-    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "dup APS signature verification failed", idx);
+  if (struct_fail.ok()) {
+    for (std::size_t i = 0; i < vo.inaccessible.size(); ++i) {
+      const DupVo::DupInaccessibleEntry& e = vo.inaccessible[i];
+      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
+      if (!account(e.key, e.dup_num, e.dup_id)) {
+        struct_fail = VerifyResult::Fail(
+            VerifyCode::kDuplicateBookkeeping,
+            "inconsistent duplicate bookkeeping (inaccessible)", idx);
+        break;
+      }
+      batch.Add(DupRecordMessageFromHash(e.key, e.value_hash, e.dup_num,
+                                         e.dup_id),
+                &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "dup APS signature verification failed",
+                                   idx));
     }
   }
-  // Every key group must be complete.
-  for (const auto& [key, g] : groups) {
-    if (g.ids.size() != g.dup_num) {
-      return VerifyResult::Fail(VerifyCode::kDuplicateBookkeeping,
-                                "missing duplicates for a key");
+  if (struct_fail.ok()) {
+    // Every key group must be complete.
+    for (const auto& [key, g] : groups) {
+      (void)key;
+      if (g.ids.size() != g.dup_num) {
+        struct_fail = VerifyResult::Fail(VerifyCode::kDuplicateBookkeeping,
+                                         "missing duplicates for a key");
+        break;
+      }
+    }
+  }
+  if (struct_fail.ok()) {
+    // Coverage: key cells + boxes tile the range.
+    Vo coverage;
+    for (const auto& [key, g] : groups) {
+      (void)g;
+      coverage.entries.push_back(InaccessibleRecordEntry{key, Digest{}, {}});
+    }
+    for (const auto& e : vo.boxes) coverage.entries.push_back(e);
+    struct_fail = CheckCoverageEx(range, coverage);
+  }
+  if (struct_fail.ok()) {
+    for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
+      const InaccessibleBoxEntry& e = vo.boxes[i];
+      batch.Add(BoxMessage(e.box), &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "dup box APS signature verification failed",
+                                   static_cast<std::ptrdiff_t>(i)));
     }
   }
 
-  // Coverage: key cells + boxes tile the range.
-  Vo coverage;
-  for (const auto& [key, g] : groups) {
-    (void)g;
-    coverage.entries.push_back(InaccessibleRecordEntry{key, Digest{}, {}});
-  }
-  for (const auto& e : vo.boxes) coverage.entries.push_back(e);
-  if (VerifyResult r = CheckCoverageEx(range, coverage); !r.ok()) return r;
-
-  for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
-    const InaccessibleBoxEntry& e = vo.boxes[i];
-    if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "dup box APS signature verification failed",
-                                static_cast<std::ptrdiff_t>(i));
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.results.size(); ++i) {
+      const DupVo::DupResultEntry& e = vo.results[i];
+      if (result_job[i] < 0) continue;
+      if (static_cast<std::size_t>(result_job[i]) < emit) {
+        results->push_back(Record{e.key, e.value, e.policy});
+      }
     }
   }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
                       const Box& range, const RoleSet& user_roles,
                       const RoleSet& universe, const DupVo& vo,
-                      std::vector<Record>* results, std::string* error) {
+                      std::vector<Record>* results, std::string* error,
+                      ThreadPool* pool) {
   VerifyResult r = VerifyDupRangeVoEx(mvk, domain, range, user_roles, universe,
-                                      vo, results);
+                                      vo, results, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

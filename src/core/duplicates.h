@@ -19,6 +19,7 @@
 
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/thread_pool.h"
 #include "core/verify_result.h"
 #include "core/vo.h"
 
@@ -126,15 +127,19 @@ DupVo BuildDupRangeVo(const DupGridTree& tree, const VerifyKey& mvk,
                       const Box& range, const RoleSet& user_roles,
                       const RoleSet& universe, Rng* rng);
 
+// A non-null `pool` fans the signature checks out across its threads with
+// diagnostics identical to the serial path (see core/parallel_verify.h).
 VerifyResult VerifyDupRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const Box& range, const RoleSet& user_roles,
                                 const RoleSet& universe, const DupVo& vo,
-                                std::vector<Record>* results);
+                                std::vector<Record>* results,
+                                ThreadPool* pool = nullptr);
 
 bool VerifyDupRangeVo(const VerifyKey& mvk, const Domain& domain,
                       const Box& range, const RoleSet& user_roles,
                       const RoleSet& universe, const DupVo& vo,
-                      std::vector<Record>* results, std::string* error);
+                      std::vector<Record>* results, std::string* error,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace apqa::core
 

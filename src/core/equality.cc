@@ -33,7 +33,8 @@ VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const Point& key, const RoleSet& user_roles,
                                 const RoleSet& universe, const Vo& vo,
                                 Record* result, bool* accessible,
-                                bool exact_pairings) {
+                                bool exact_pairings, ThreadPool* pool) {
+  (void)pool;  // single signature: nothing to fan out
   if (!domain.ContainsPoint(key)) {
     return VerifyResult::Fail(VerifyCode::kBadQuery,
                               "query key outside domain");
@@ -86,9 +87,10 @@ bool VerifyEqualityVo(const VerifyKey& mvk, const Domain& domain,
                       const Point& key, const RoleSet& user_roles,
                       const RoleSet& universe, const Vo& vo, Record* result,
                       bool* accessible, std::string* error,
-                      bool exact_pairings) {
+                      bool exact_pairings, ThreadPool* pool) {
   VerifyResult r = VerifyEqualityVoEx(mvk, domain, key, user_roles, universe,
-                                      vo, result, accessible, exact_pairings);
+                                      vo, result, accessible, exact_pairings,
+                                      pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/grid_tree.h"
+#include "core/thread_pool.h"
 #include "core/verify_result.h"
 #include "core/vo.h"
 
@@ -25,18 +26,21 @@ Vo BuildEqualityVo(const GridTree& tree, const VerifyKey& mvk, const Point& key,
 // User side: verifies the VO against the queried key. On success, when the
 // record is accessible, `result` (if not null) receives it and *accessible
 // is set accordingly.
+// `pool` is accepted for API uniformity with the other verifiers; an
+// equality VO carries a single signature, so the check runs inline.
 VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const Point& key, const RoleSet& user_roles,
                                 const RoleSet& universe, const Vo& vo,
                                 Record* result, bool* accessible,
-                                bool exact_pairings = false);
+                                bool exact_pairings = false,
+                                ThreadPool* pool = nullptr);
 
 // Legacy bool API; `error` (if not null) receives the stringified result.
 bool VerifyEqualityVo(const VerifyKey& mvk, const Domain& domain,
                       const Point& key, const RoleSet& user_roles,
                       const RoleSet& universe, const Vo& vo, Record* result,
                       bool* accessible, std::string* error,
-                      bool exact_pairings = false);
+                      bool exact_pairings = false, ThreadPool* pool = nullptr);
 
 }  // namespace apqa::core
 

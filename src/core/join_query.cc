@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "core/parallel_verify.h"
 #include "core/range_query.h"
 
 namespace apqa::core {
@@ -181,7 +182,7 @@ VerifyResult VerifyJoinVoEx(const VerifyKey& mvk, const Domain& domain,
                             const Box& range, const RoleSet& user_roles,
                             const RoleSet& universe, const JoinVo& vo,
                             std::vector<std::pair<Record, Record>>* results,
-                            bool exact_pairings) {
+                            bool exact_pairings, ThreadPool* pool) {
   if (!range.WellFormed() ||
       range.lo.size() != static_cast<std::size_t>(domain.dims) ||
       !domain.FullBox().ContainsBox(range)) {
@@ -198,71 +199,93 @@ VerifyResult VerifyJoinVoEx(const VerifyKey& mvk, const Domain& domain,
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
 
-  for (std::size_t i = 0; i < vo.pairs.size(); ++i) {
+  // Structural pass in sequential order; signature checks are queued and a
+  // pair emits iff its *second* (S-side) job precedes the first failure.
+  SigBatch batch(mvk, exact_pairings);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> pair_job(vo.pairs.size(), -1);
+  for (std::size_t i = 0; i < vo.pairs.size() && struct_fail.ok(); ++i) {
     const JoinResultPair& pair = vo.pairs[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (pair.r.key != pair.s.key) {
-      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
-                                "join pair keys differ", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                       "join pair keys differ", idx);
+      break;
     }
     if (!domain.ContainsPoint(pair.r.key) || !range.Contains(pair.r.key)) {
-      return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
-                                "join pair key outside range", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                       "join pair key outside range", idx);
+      break;
     }
     for (const ResultEntry* side : {&pair.r, &pair.s}) {
       if (!side->policy.Evaluate(user_roles)) {
-        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                  "join pair policy not satisfied", idx);
+        struct_fail = VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                         "join pair policy not satisfied", idx);
+        break;
       }
-      auto msg = RecordMessage(side->key, side->value);
-      if (!Abs::Verify(mvk, msg, side->policy, side->app_sig, exact_pairings)) {
-        return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                  "join pair APP signature verification failed",
-                                  idx);
-      }
+      pair_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+          RecordMessage(side->key, side->value), &side->policy, &side->app_sig,
+          VerifyResult::Fail(VerifyCode::kBadSignature,
+                             "join pair APP signature verification failed",
+                             idx)));
     }
-    if (results != nullptr) {
-      results->emplace_back(Record{pair.r.key, pair.r.value, pair.r.policy},
-                            Record{pair.s.key, pair.s.value, pair.s.policy});
+    // An S-side structural failure after the R-side job was queued must not
+    // leave the pair emittable: the sequential verifier never emits it.
+    if (!struct_fail.ok()) pair_job[i] = -1;
+  }
+
+  if (struct_fail.ok()) {
+    for (const auto* side : {&vo.r_aps, &vo.s_aps}) {
+      for (std::size_t i = 0; i < side->size() && struct_fail.ok(); ++i) {
+        const VoEntry& entry = (*side)[i];
+        std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
+        if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+          batch.Add(RecordMessageFromHash(rec->key, rec->value_hash),
+                    &super_policy, &rec->aps_sig,
+                    VerifyResult::Fail(
+                        VerifyCode::kBadSignature,
+                        "join APS record signature verification failed", idx));
+        } else if (const auto* boxe =
+                       std::get_if<InaccessibleBoxEntry>(&entry)) {
+          batch.Add(BoxMessage(boxe->box), &super_policy, &boxe->aps_sig,
+                    VerifyResult::Fail(
+                        VerifyCode::kBadSignature,
+                        "join APS box signature verification failed", idx));
+        } else {
+          struct_fail =
+              VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
+                                 "unexpected result entry among join APS "
+                                 "entries",
+                                 idx);
+        }
+      }
+      if (!struct_fail.ok()) break;
     }
   }
 
-  for (const auto* side : {&vo.r_aps, &vo.s_aps}) {
-    for (std::size_t i = 0; i < side->size(); ++i) {
-      const VoEntry& entry = (*side)[i];
-      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
-      if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
-        auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
-        if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-          return VerifyResult::Fail(
-              VerifyCode::kBadSignature,
-              "join APS record signature verification failed", idx);
-        }
-      } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
-        auto msg = BoxMessage(boxe->box);
-        if (!Abs::Verify(mvk, msg, super_policy, boxe->aps_sig, exact_pairings)) {
-          return VerifyResult::Fail(
-              VerifyCode::kBadSignature,
-              "join APS box signature verification failed", idx);
-        }
-      } else {
-        return VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
-                                  "unexpected result entry among join APS "
-                                  "entries",
-                                  idx);
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.pairs.size(); ++i) {
+      const JoinResultPair& pair = vo.pairs[i];
+      if (pair_job[i] < 0) continue;
+      if (static_cast<std::size_t>(pair_job[i]) < emit) {
+        results->emplace_back(Record{pair.r.key, pair.r.value, pair.r.policy},
+                              Record{pair.s.key, pair.s.value, pair.s.policy});
       }
     }
   }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                   const RoleSet& user_roles, const RoleSet& universe,
                   const JoinVo& vo,
                   std::vector<std::pair<Record, Record>>* results,
-                  std::string* error, bool exact_pairings) {
+                  std::string* error, bool exact_pairings, ThreadPool* pool) {
   VerifyResult r = VerifyJoinVoEx(mvk, domain, range, user_roles, universe, vo,
-                                  results, exact_pairings);
+                                  results, exact_pairings, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }
@@ -366,7 +389,8 @@ VerifyResult VerifyMultiJoinVoEx(const VerifyKey& mvk, const Domain& domain,
                                  const Box& range, const RoleSet& user_roles,
                                  const RoleSet& universe,
                                  std::size_t num_tables, const MultiJoinVo& vo,
-                                 std::vector<std::vector<Record>>* results) {
+                                 std::vector<std::vector<Record>>* results,
+                                 ThreadPool* pool) {
   if (!range.WellFormed() ||
       range.lo.size() != static_cast<std::size_t>(domain.dims) ||
       !domain.FullBox().ContainsBox(range)) {
@@ -393,65 +417,87 @@ VerifyResult VerifyMultiJoinVoEx(const VerifyKey& mvk, const Domain& domain,
 
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
-  for (std::size_t i = 0; i < vo.tuples.size(); ++i) {
+
+  // Structural pass in sequential order; a tuple emits iff its *last*
+  // (num_tables-th) queued job precedes the first signature failure.
+  SigBatch batch(mvk, /*exact_pairings=*/false);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> tuple_job(vo.tuples.size(), -1);
+  for (std::size_t i = 0; i < vo.tuples.size() && struct_fail.ok(); ++i) {
     const auto& tuple = vo.tuples[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     for (const auto& side : tuple) {
       if (side.key != tuple[0].key) {
-        return VerifyResult::Fail(VerifyCode::kKeyMismatch,
-                                  "tuple keys differ", idx);
+        struct_fail = VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                         "tuple keys differ", idx);
+        break;
       }
       if (!domain.ContainsPoint(side.key) || !range.Contains(side.key)) {
-        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
-                                  "tuple key outside range", idx);
+        struct_fail = VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                         "tuple key outside range", idx);
+        break;
       }
       if (!side.policy.Evaluate(user_roles)) {
-        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                  "tuple policy not satisfied", idx);
+        struct_fail = VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                         "tuple policy not satisfied", idx);
+        break;
       }
-      auto msg = RecordMessage(side.key, side.value);
-      if (!Abs::Verify(mvk, msg, side.policy, side.app_sig)) {
-        return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                  "tuple APP signature verification failed",
-                                  idx);
-      }
+      tuple_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+          RecordMessage(side.key, side.value), &side.policy, &side.app_sig,
+          VerifyResult::Fail(VerifyCode::kBadSignature,
+                             "tuple APP signature verification failed", idx)));
     }
-    if (results != nullptr) {
-      std::vector<Record> out;
-      for (const auto& side : tuple) {
-        out.push_back(Record{side.key, side.value, side.policy});
+    // A mid-tuple structural failure leaves earlier sides queued but the
+    // tuple must not be emittable (the sequential verifier never emits it).
+    if (!struct_fail.ok()) tuple_job[i] = -1;
+  }
+
+  if (struct_fail.ok()) {
+    for (const auto& side : vo.aps) {
+      for (std::size_t i = 0; i < side.size() && struct_fail.ok(); ++i) {
+        const VoEntry& entry = side[i];
+        std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
+        if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
+          batch.Add(RecordMessageFromHash(rec->key, rec->value_hash),
+                    &super_policy, &rec->aps_sig,
+                    VerifyResult::Fail(VerifyCode::kBadSignature,
+                                       "multi-join record APS verification "
+                                       "failed",
+                                       idx));
+        } else if (const auto* boxe =
+                       std::get_if<InaccessibleBoxEntry>(&entry)) {
+          batch.Add(BoxMessage(boxe->box), &super_policy, &boxe->aps_sig,
+                    VerifyResult::Fail(
+                        VerifyCode::kBadSignature,
+                        "multi-join box APS verification failed", idx));
+        } else {
+          struct_fail =
+              VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
+                                 "unexpected entry type in multi-join APS "
+                                 "group",
+                                 idx);
+        }
       }
-      results->push_back(std::move(out));
+      if (!struct_fail.ok()) break;
     }
   }
-  for (const auto& side : vo.aps) {
-    for (std::size_t i = 0; i < side.size(); ++i) {
-      const VoEntry& entry = side[i];
-      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
-      if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
-        auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
-        if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig)) {
-          return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                    "multi-join record APS verification "
-                                    "failed",
-                                    idx);
+
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.tuples.size(); ++i) {
+      if (tuple_job[i] < 0) continue;
+      if (static_cast<std::size_t>(tuple_job[i]) < emit) {
+        std::vector<Record> out;
+        for (const auto& side : vo.tuples[i]) {
+          out.push_back(Record{side.key, side.value, side.policy});
         }
-      } else if (const auto* boxe = std::get_if<InaccessibleBoxEntry>(&entry)) {
-        if (!Abs::Verify(mvk, BoxMessage(boxe->box), super_policy,
-                         boxe->aps_sig)) {
-          return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                    "multi-join box APS verification failed",
-                                    idx);
-        }
-      } else {
-        return VerifyResult::Fail(VerifyCode::kUnexpectedEntryType,
-                                  "unexpected entry type in multi-join APS "
-                                  "group",
-                                  idx);
+        results->push_back(std::move(out));
       }
     }
   }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
@@ -459,9 +505,10 @@ bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
                        const RoleSet& universe, std::size_t num_tables,
                        const MultiJoinVo& vo,
                        std::vector<std::vector<Record>>* results,
-                       std::string* error) {
+                       std::string* error, ThreadPool* pool) {
   VerifyResult r = VerifyMultiJoinVoEx(mvk, domain, range, user_roles,
-                                       universe, num_tables, vo, results);
+                                       universe, num_tables, vo, results,
+                                       pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

@@ -39,18 +39,22 @@ JoinVo BuildJoinVo(const GridTree& tree_r, const GridTree& tree_s,
 
 // User side: soundness (pair keys equal, signatures valid, policies
 // satisfied) and completeness (pair cells plus APS regions tile the range).
+// A non-null `pool` fans the signature checks out across its threads with
+// diagnostics identical to the serial path (see core/parallel_verify.h).
 VerifyResult VerifyJoinVoEx(const VerifyKey& mvk, const Domain& domain,
                             const Box& range, const RoleSet& user_roles,
                             const RoleSet& universe, const JoinVo& vo,
                             std::vector<std::pair<Record, Record>>* results,
-                            bool exact_pairings = false);
+                            bool exact_pairings = false,
+                            ThreadPool* pool = nullptr);
 
 // Legacy bool API; `error` (if not null) receives the stringified result.
 bool VerifyJoinVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                   const RoleSet& user_roles, const RoleSet& universe,
                   const JoinVo& vo,
                   std::vector<std::pair<Record, Record>>* results,
-                  std::string* error, bool exact_pairings = false);
+                  std::string* error, bool exact_pairings = false,
+                  ThreadPool* pool = nullptr);
 
 // --- Multi-way equi-join (§6.2, "easily extended") -------------------------
 //
@@ -77,14 +81,15 @@ VerifyResult VerifyMultiJoinVoEx(const VerifyKey& mvk, const Domain& domain,
                                  const Box& range, const RoleSet& user_roles,
                                  const RoleSet& universe,
                                  std::size_t num_tables, const MultiJoinVo& vo,
-                                 std::vector<std::vector<Record>>* results);
+                                 std::vector<std::vector<Record>>* results,
+                                 ThreadPool* pool = nullptr);
 
 bool VerifyMultiJoinVo(const VerifyKey& mvk, const Domain& domain,
                        const Box& range, const RoleSet& user_roles,
                        const RoleSet& universe, std::size_t num_tables,
                        const MultiJoinVo& vo,
                        std::vector<std::vector<Record>>* results,
-                       std::string* error);
+                       std::string* error, ThreadPool* pool = nullptr);
 
 }  // namespace apqa::core
 

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/parallel_verify.h"
 #include "core/range_query.h"
 
 namespace apqa::core {
@@ -390,7 +391,8 @@ KdVo KdVo::Deserialize(common::ByteReader* r) {
 VerifyResult VerifyKdRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                                const Box& range, const RoleSet& user_roles,
                                const RoleSet& universe, const KdVo& vo,
-                               std::vector<Record>* results) {
+                               std::vector<Record>* results,
+                               ThreadPool* pool) {
   if (!range.WellFormed() ||
       range.lo.size() != static_cast<std::size_t>(domain.dims) ||
       !domain.FullBox().ContainsBox(range)) {
@@ -439,55 +441,74 @@ VerifyResult VerifyKdRangeVoEx(const VerifyKey& mvk, const Domain& domain,
 
   RoleSet lacked = SuperPolicyRoles(universe, user_roles);
   Policy super_policy = Policy::OrOfRoles(lacked);
+
+  // Structural pass in sequential order; signature checks run through a
+  // SigBatch so a pool changes timing only (see core/parallel_verify.h).
+  SigBatch batch(mvk, /*exact_pairings=*/false);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> result_job(vo.results.size(), -1);
   for (std::size_t i = 0; i < vo.results.size(); ++i) {
     const KdResultEntry& e = vo.results[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (!domain.ContainsPoint(e.key) || !e.region.Contains(e.key)) {
-      return VerifyResult::Fail(VerifyCode::kKeyMismatch,
-                                "result key outside its region", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kKeyMismatch,
+                                       "result key outside its region", idx);
+      break;
     }
     // A record outside the range itself is acceptable when its leaf region
     // only partially overlaps: the region still proves emptiness, but the
     // record is not output as a result.
     if (!e.policy.Evaluate(user_roles)) {
-      return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                "result policy not satisfied", idx);
+      struct_fail = VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
+                                       "result policy not satisfied", idx);
+      break;
     }
-    if (!abs::Abs::Verify(mvk, KdLeafMessage(e.region, e.key, e.value),
-                          e.policy, e.app_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "kd APP signature verification failed", idx);
+    result_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+        KdLeafMessage(e.region, e.key, e.value), &e.policy, &e.app_sig,
+        VerifyResult::Fail(VerifyCode::kBadSignature,
+                           "kd APP signature verification failed", idx)));
+  }
+  if (struct_fail.ok()) {
+    for (std::size_t i = 0; i < vo.leaves.size(); ++i) {
+      const KdInaccessibleLeafEntry& e = vo.leaves[i];
+      batch.Add(KdLeafMessageFromHash(e.region, e.key, e.value_hash),
+                &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "kd leaf APS signature verification failed",
+                                   static_cast<std::ptrdiff_t>(i)));
     }
-    if (results != nullptr && range.Contains(e.key)) {
-      results->push_back(Record{e.key, e.value, e.policy});
+    for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
+      const InaccessibleBoxEntry& e = vo.boxes[i];
+      batch.Add(BoxMessage(e.box), &super_policy, &e.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "kd box APS signature verification failed",
+                                   static_cast<std::ptrdiff_t>(i)));
     }
   }
-  for (std::size_t i = 0; i < vo.leaves.size(); ++i) {
-    const KdInaccessibleLeafEntry& e = vo.leaves[i];
-    auto msg = KdLeafMessageFromHash(e.region, e.key, e.value_hash);
-    if (!abs::Abs::Verify(mvk, msg, super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "kd leaf APS signature verification failed",
-                                static_cast<std::ptrdiff_t>(i));
+
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.results.size(); ++i) {
+      const KdResultEntry& e = vo.results[i];
+      if (result_job[i] < 0) continue;
+      if (static_cast<std::size_t>(result_job[i]) < emit &&
+          range.Contains(e.key)) {
+        results->push_back(Record{e.key, e.value, e.policy});
+      }
     }
   }
-  for (std::size_t i = 0; i < vo.boxes.size(); ++i) {
-    const InaccessibleBoxEntry& e = vo.boxes[i];
-    if (!abs::Abs::Verify(mvk, BoxMessage(e.box), super_policy, e.aps_sig)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "kd box APS signature verification failed",
-                                static_cast<std::ptrdiff_t>(i));
-    }
-  }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
                      const Box& range, const RoleSet& user_roles,
                      const RoleSet& universe, const KdVo& vo,
-                     std::vector<Record>* results, std::string* error) {
+                     std::vector<Record>* results, std::string* error,
+                     ThreadPool* pool) {
   VerifyResult r = VerifyKdRangeVoEx(mvk, domain, range, user_roles, universe,
-                                     vo, results);
+                                     vo, results, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

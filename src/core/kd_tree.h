@@ -20,6 +20,7 @@
 
 #include "core/app_signature.h"
 #include "core/record.h"
+#include "core/thread_pool.h"
 #include "core/verify_result.h"
 #include "core/vo.h"
 
@@ -105,16 +106,20 @@ KdVo BuildKdRangeVo(const KdTree& tree, const VerifyKey& mvk, const Box& range,
                     const RoleSet& user_roles, const RoleSet& universe,
                     Rng* rng);
 
-// User side: soundness + completeness.
+// User side: soundness + completeness. A non-null `pool` fans the signature
+// checks out across its threads with diagnostics identical to the serial
+// path (see core/parallel_verify.h).
 VerifyResult VerifyKdRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                                const Box& range, const RoleSet& user_roles,
                                const RoleSet& universe, const KdVo& vo,
-                               std::vector<Record>* results);
+                               std::vector<Record>* results,
+                               ThreadPool* pool = nullptr);
 
 bool VerifyKdRangeVo(const VerifyKey& mvk, const Domain& domain,
                      const Box& range, const RoleSet& user_roles,
                      const RoleSet& universe, const KdVo& vo,
-                     std::vector<Record>* results, std::string* error);
+                     std::vector<Record>* results, std::string* error,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace apqa::core
 

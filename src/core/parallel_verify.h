@@ -1,0 +1,108 @@
+// Deterministic parallel fan-out for VO signature checks.
+//
+// Every verifier walks its VO once, doing the cheap structural checks
+// (coverage, key agreement, policy evaluation) serially in the original
+// order, and queues the expensive ABS signature checks into a SigBatch.
+// The batch then runs them either serially (short-circuiting at the first
+// failure) or fanned out over a ThreadPool — and in both cases reports the
+// *lowest* failing job index. Because jobs are queued in the exact order
+// the sequential verifier would have evaluated them, and any structural
+// failure aborts queueing, the diagnostic a caller sees — which
+// VerifyResult, with which entry index — is byte-identical regardless of
+// the pool. Partial-result emission follows the same rule: an entry's
+// results are emitted iff all its jobs precede the first failing job.
+//
+// Thread-safety: jobs only read the VO, the verify key's prepared tables
+// (immutable once built; the attribute memo is mutex-guarded), and
+// per-call randomness inside Abs::Verify. Workers write disjoint slots of
+// the outcome vector, so the fan-out is TSan-clean by construction.
+#ifndef APQA_CORE_PARALLEL_VERIFY_H_
+#define APQA_CORE_PARALLEL_VERIFY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "abs/abs.h"
+#include "core/thread_pool.h"
+#include "core/verify_result.h"
+
+namespace apqa::core {
+
+class SigBatch {
+ public:
+  SigBatch(const abs::VerifyKey& mvk, bool exact_pairings)
+      : mvk_(mvk), exact_(exact_pairings) {}
+
+  // Queues one ABS check in sequential-verifier order; returns its job
+  // index. `policy` and `sig` must outlive FirstFailure (they point into
+  // the VO or at a caller-owned super policy); `on_fail` is the exact
+  // VerifyResult the sequential verifier would return if this check fails.
+  std::size_t Add(std::vector<std::uint8_t> msg, const policy::Policy* policy,
+                  const abs::Signature* sig, VerifyResult on_fail) {
+    jobs_.push_back(Job{std::move(msg), policy, sig, std::move(on_fail)});
+    return jobs_.size() - 1;
+  }
+
+  std::size_t size() const { return jobs_.size(); }
+
+  // Runs the queued checks; returns the lowest failing job index, or -1 if
+  // all pass. Serial when `pool` is null, single-threaded, or there is at
+  // most one job.
+  std::ptrdiff_t FirstFailure(ThreadPool* pool) const {
+    const std::size_t n = jobs_.size();
+    if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!Check(jobs_[i])) return static_cast<std::ptrdiff_t>(i);
+      }
+      return -1;
+    }
+    std::vector<char> ok(n, 0);
+    std::atomic<std::size_t> next{0};
+    pool->ParallelFor(static_cast<std::size_t>(pool->thread_count()),
+                      [&](std::size_t) {
+                        for (;;) {
+                          std::size_t i = next.fetch_add(1);
+                          if (i >= n) break;
+                          ok[i] = Check(jobs_[i]) ? 1 : 0;
+                        }
+                      });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ok[i] == 0) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  }
+
+  const VerifyResult& failure(std::ptrdiff_t i) const {
+    return jobs_[static_cast<std::size_t>(i)].on_fail;
+  }
+
+  // Jobs strictly below this index succeeded; used for partial-result
+  // emission after a failure (matching the sequential verifier, which
+  // emits an entry's results only once all its checks have passed).
+  std::size_t EmitLimit(std::ptrdiff_t first_failure) const {
+    return first_failure >= 0 ? static_cast<std::size_t>(first_failure)
+                              : jobs_.size();
+  }
+
+ private:
+  struct Job {
+    std::vector<std::uint8_t> msg;
+    const policy::Policy* policy;
+    const abs::Signature* sig;
+    VerifyResult on_fail;
+  };
+
+  bool Check(const Job& j) const {
+    return abs::Abs::Verify(mvk_, j.msg, *j.policy, *j.sig, exact_);
+  }
+
+  const abs::VerifyKey& mvk_;
+  bool exact_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace apqa::core
+
+#endif  // APQA_CORE_PARALLEL_VERIFY_H_

@@ -3,6 +3,8 @@
 #include <deque>
 #include <mutex>
 
+#include "core/parallel_verify.h"
+
 namespace apqa::core {
 
 namespace {
@@ -137,11 +139,11 @@ bool CheckCoverage(const Box& range, const Vo& vo, std::string* error) {
 VerifyResult VerifyRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                              const Box& range, const RoleSet& user_roles,
                              const RoleSet& universe, const Vo& vo,
-                             std::vector<Record>* results,
-                             bool exact_pairings) {
+                             std::vector<Record>* results, bool exact_pairings,
+                             ThreadPool* pool) {
   return VerifyRangeVoWithLackedEx(mvk, domain, range, user_roles,
                                    SuperPolicyRoles(universe, user_roles), vo,
-                                   results, exact_pairings);
+                                   results, exact_pairings, pool);
 }
 
 VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
@@ -149,7 +151,7 @@ VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
                                        const RoleSet& user_roles,
                                        const RoleSet& lacked, const Vo& vo,
                                        std::vector<Record>* results,
-                                       bool exact_pairings) {
+                                       bool exact_pairings, ThreadPool* pool) {
   if (!range.WellFormed() ||
       range.lo.size() != static_cast<std::size_t>(domain.dims) ||
       !domain.FullBox().ContainsBox(range)) {
@@ -159,58 +161,73 @@ VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
   if (VerifyResult r = CheckCoverageEx(range, vo); !r.ok()) return r;
   Policy super_policy = Policy::OrOfRoles(lacked);
 
+  // One serial structural pass in entry order, queueing signature checks;
+  // SigBatch keeps the diagnostics and partial-result emission identical
+  // to the sequential verifier regardless of the pool (parallel_verify.h).
+  SigBatch batch(mvk, exact_pairings);
+  VerifyResult struct_fail = VerifyResult::Ok();
+  std::vector<std::ptrdiff_t> entry_job(vo.entries.size(), -1);
   for (std::size_t i = 0; i < vo.entries.size(); ++i) {
     const VoEntry& entry = vo.entries[i];
     std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(i);
     if (const auto* res = std::get_if<ResultEntry>(&entry)) {
       if (!domain.ContainsPoint(res->key) || !range.Contains(res->key)) {
-        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
-                                  "result key outside range", idx);
+        struct_fail = VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                                         "result key outside range", idx);
+        break;
       }
       if (!res->policy.Evaluate(user_roles)) {
-        return VerifyResult::Fail(VerifyCode::kPolicyNotSatisfied,
-                                  "result policy not satisfied by user roles",
-                                  idx);
+        struct_fail = VerifyResult::Fail(
+            VerifyCode::kPolicyNotSatisfied,
+            "result policy not satisfied by user roles", idx);
+        break;
       }
-      auto msg = RecordMessage(res->key, res->value);
-      if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
-        return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                  "APP signature verification failed", idx);
-      }
-      if (results != nullptr) {
-        results->push_back(Record{res->key, res->value, res->policy});
-      }
+      entry_job[i] = static_cast<std::ptrdiff_t>(batch.Add(
+          RecordMessage(res->key, res->value), &res->policy, &res->app_sig,
+          VerifyResult::Fail(VerifyCode::kBadSignature,
+                             "APP signature verification failed", idx)));
     } else if (const auto* rec = std::get_if<InaccessibleRecordEntry>(&entry)) {
       if (!domain.ContainsPoint(rec->key)) {
-        return VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
-                                  "inaccessible record key outside domain",
-                                  idx);
+        struct_fail =
+            VerifyResult::Fail(VerifyCode::kRegionOutsideRange,
+                               "inaccessible record key outside domain", idx);
+        break;
       }
-      auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
-      if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-        return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                  "record APS signature verification failed",
-                                  idx);
-      }
+      batch.Add(RecordMessageFromHash(rec->key, rec->value_hash), &super_policy,
+                &rec->aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "record APS signature verification failed",
+                                   idx));
     } else {
       const auto& boxe = std::get<InaccessibleBoxEntry>(entry);
-      auto msg = BoxMessage(boxe.box);
-      if (!Abs::Verify(mvk, msg, super_policy, boxe.aps_sig, exact_pairings)) {
-        return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                  "box APS signature verification failed",
-                                  idx);
+      batch.Add(BoxMessage(boxe.box), &super_policy, &boxe.aps_sig,
+                VerifyResult::Fail(VerifyCode::kBadSignature,
+                                   "box APS signature verification failed",
+                                   idx));
+    }
+  }
+
+  std::ptrdiff_t bad = batch.FirstFailure(pool);
+  if (results != nullptr) {
+    std::size_t emit = batch.EmitLimit(bad);
+    for (std::size_t i = 0; i < vo.entries.size(); ++i) {
+      const auto* res = std::get_if<ResultEntry>(&vo.entries[i]);
+      if (res == nullptr || entry_job[i] < 0) continue;
+      if (static_cast<std::size_t>(entry_job[i]) < emit) {
+        results->push_back(Record{res->key, res->value, res->policy});
       }
     }
   }
-  return VerifyResult::Ok();
+  if (bad >= 0) return batch.failure(bad);
+  return struct_fail;
 }
 
 bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                    const RoleSet& user_roles, const RoleSet& universe,
                    const Vo& vo, std::vector<Record>* results,
-                   std::string* error, bool exact_pairings) {
+                   std::string* error, bool exact_pairings, ThreadPool* pool) {
   VerifyResult r = VerifyRangeVoEx(mvk, domain, range, user_roles, universe,
-                                   vo, results, exact_pairings);
+                                   vo, results, exact_pairings, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }
@@ -219,10 +236,10 @@ bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
                              const Box& range, const RoleSet& user_roles,
                              const RoleSet& lacked, const Vo& vo,
                              std::vector<Record>* results, std::string* error,
-                             bool exact_pairings) {
+                             bool exact_pairings, ThreadPool* pool) {
   VerifyResult r = VerifyRangeVoWithLackedEx(mvk, domain, range, user_roles,
                                              lacked, vo, results,
-                                             exact_pairings);
+                                             exact_pairings, pool);
   if (!r.ok()) SetError(error, r.ToString());
   return r.ok();
 }

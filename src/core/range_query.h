@@ -28,12 +28,15 @@ Vo BuildRangeVoWithLacked(const GridTree& tree, const VerifyKey& mvk,
 // User side: soundness + completeness verification (Algorithm 3, bottom).
 // On success, appends the accessible result records to `results` (if not
 // null). `exact_pairings` selects per-column pairing checks instead of the
-// batched verifier.
+// batched verifier. When `pool` is given, the per-entry signature checks
+// fan out across it; diagnostics and partial results are identical to the
+// single-threaded path (see parallel_verify.h).
 VerifyResult VerifyRangeVoEx(const VerifyKey& mvk, const Domain& domain,
                              const Box& range, const RoleSet& user_roles,
                              const RoleSet& universe, const Vo& vo,
                              std::vector<Record>* results,
-                             bool exact_pairings = false);
+                             bool exact_pairings = false,
+                             ThreadPool* pool = nullptr);
 
 // Variant with an explicit expected super-policy role set (§8.1).
 VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
@@ -41,18 +44,21 @@ VerifyResult VerifyRangeVoWithLackedEx(const VerifyKey& mvk,
                                        const RoleSet& user_roles,
                                        const RoleSet& lacked, const Vo& vo,
                                        std::vector<Record>* results,
-                                       bool exact_pairings = false);
+                                       bool exact_pairings = false,
+                                       ThreadPool* pool = nullptr);
 
 // Legacy bool APIs; `error` (if not null) receives the stringified result.
 bool VerifyRangeVo(const VerifyKey& mvk, const Domain& domain, const Box& range,
                    const RoleSet& user_roles, const RoleSet& universe,
                    const Vo& vo, std::vector<Record>* results,
-                   std::string* error, bool exact_pairings = false);
+                   std::string* error, bool exact_pairings = false,
+                   ThreadPool* pool = nullptr);
 bool VerifyRangeVoWithLacked(const VerifyKey& mvk, const Domain& domain,
                              const Box& range, const RoleSet& user_roles,
                              const RoleSet& lacked, const Vo& vo,
                              std::vector<Record>* results, std::string* error,
-                             bool exact_pairings = false);
+                             bool exact_pairings = false,
+                             ThreadPool* pool = nullptr);
 
 // Shared helper (also used by join verification): checks that the entry
 // regions are well-formed, inside `range`, pairwise disjoint, and tile it

@@ -150,8 +150,9 @@ cpabe::Envelope ServiceProvider::SealedEqualityQuery(const Point& key,
   return cpabe::Seal(keys_.cpk, Policy::AndOfRoles(roles), w.Take(), &rng_);
 }
 
-User::User(SystemKeys keys, UserCredentials creds)
+User::User(SystemKeys keys, UserCredentials creds, int threads)
     : keys_(std::move(keys)), creds_(std::move(creds)) {
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   WarmSignatureEngine(keys_.mvk);
 }
 
@@ -164,14 +165,16 @@ bool User::VerifyEquality(const Point& key, const Vo& vo, Record* result,
 bool User::VerifyRange(const Box& range, const Vo& vo,
                        std::vector<Record>* results, std::string* error) const {
   return VerifyRangeVo(keys_.mvk, keys_.domain, range, creds_.roles,
-                       keys_.universe, vo, results, error);
+                       keys_.universe, vo, results, error,
+                       /*exact_pairings=*/false, pool_.get());
 }
 
 bool User::VerifyJoin(const Box& range, const JoinVo& vo,
                       std::vector<std::pair<Record, Record>>* results,
                       std::string* error) const {
   return VerifyJoinVo(keys_.mvk, keys_.domain, range, creds_.roles,
-                      keys_.universe, vo, results, error);
+                      keys_.universe, vo, results, error,
+                      /*exact_pairings=*/false, pool_.get());
 }
 
 bool User::OpenAndVerifyRange(const Box& range, const cpabe::Envelope& env,

@@ -100,7 +100,11 @@ class ServiceProvider {
 
 class User {
  public:
-  User(SystemKeys keys, UserCredentials creds);
+  // `threads` > 1 fans independent VO signature checks out over an internal
+  // pool; verification diagnostics are identical to the serial path (see
+  // core/parallel_verify.h). Construction also warms the mvk's
+  // prepared-pairing tables so the first verification pays no setup cost.
+  User(SystemKeys keys, UserCredentials creds, int threads = 1);
 
   const RoleSet& roles() const { return creds_.roles; }
 
@@ -123,6 +127,7 @@ class User {
  private:
   SystemKeys keys_;
   UserCredentials creds_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace apqa::core

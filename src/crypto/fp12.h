@@ -50,6 +50,28 @@ struct Fp12 {
     return {c0 * d, -(c1 * d)};
   }
 
+  // Multiplication by a sparse Miller-loop line. In the alternative
+  // representation Fp12 = Fp2[w] / (w^6 - xi) a line evaluation occupies
+  // exactly three slots,
+  //
+  //     a0 + a2*w^2 + a3*w^3,
+  //
+  // which in the tower layout is (a0, a2, 0) + (0, a3, 0)*w. Karatsuba over
+  // Fp6::MulBy01 / MulBy1 costs 13 Fp2 multiplications vs 18 for a full
+  // Fp12 product; equivalence with the dense product is unit-tested.
+  Fp12 MulBySparseLine(const Fp2& a0, const Fp2& a2, const Fp2& a3) const {
+    Fp6 aa = c0.MulBy01(a0, a2);
+    Fp6 bb = c1.MulBy1(a3);
+    Fp6 r1 = (c0 + c1).MulBy01(a0, a2 + a3) - aa - bb;
+    return {bb.MulByV() + aa, r1};
+  }
+
+  // The dense Fp12 element a0 + a2*w^2 + a3*w^3 (reference for tests and
+  // benches comparing sparse vs full products).
+  static Fp12 FromSparseLine(const Fp2& a0, const Fp2& a2, const Fp2& a3) {
+    return {Fp6{a0, a2, Fp2::Zero()}, Fp6{Fp2::Zero(), a3, Fp2::Zero()}};
+  }
+
   // p-power Frobenius endomorphism.
   Fp12 Frobenius() const;
 

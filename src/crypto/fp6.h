@@ -44,6 +44,23 @@ struct Fp6 {
   // Multiplication by v (shifts coefficients, wrapping through xi).
   Fp6 MulByV() const { return {c2.MulByXi(), c0, c1}; }
 
+  // Multiplication by the sparse element b0 + b1*v (b2 = 0): 5 Fp2
+  // multiplications instead of 6. Used by the sparse pairing-line product.
+  Fp6 MulBy01(const Fp2& b0, const Fp2& b1) const {
+    Fp2 a_a = c0 * b0;
+    Fp2 b_b = c1 * b1;
+    Fp2 r0 = ((c1 + c2) * b1 - b_b).MulByXi() + a_a;
+    Fp2 r1 = (c0 + c1) * (b0 + b1) - a_a - b_b;
+    Fp2 r2 = (c0 + c2) * b0 - a_a + b_b;
+    return {r0, r1, r2};
+  }
+
+  // Multiplication by the sparse element b1*v (b0 = b2 = 0): 3 Fp2
+  // multiplications.
+  Fp6 MulBy1(const Fp2& b1) const {
+    return {(c2 * b1).MulByXi(), c0 * b1, c1 * b1};
+  }
+
   Fp6 MulByFp2(const Fp2& s) const { return {c0 * s, c1 * s, c2 * s}; }
 
   Fp6 Inverse() const {

@@ -115,23 +115,6 @@ GT MillerLoopGeneric(const G1& p, const G2& q) {
   return f.Conjugate();
 }
 
-namespace {
-
-// Sparse line value on the M-twist, multiplied through by w^3 (an Fp4
-// element, killed by the final exponentiation):
-//   l = (lambda*x_T - y_T) + (-lambda*x_P) w^2 + (y_P) w^3
-// Tower slots (Fp12 = Fp2[w]/(w^6 - xi) view): w^0 -> c0.c0, w^2 -> c0.c1,
-// w^3 -> c1.c1.
-Fp12 AssembleLine(const Fp2& l0, const Fp2& l2, const Fp& yp) {
-  Fp12 l = Fp12::Zero();
-  l.c0.c0 = l0;
-  l.c0.c1 = l2;
-  l.c1.c1 = Fp2{yp, Fp::Zero()};
-  return l;
-}
-
-}  // namespace
-
 GT MillerLoop(const G1& p, const G2& q) {
   if (p.IsInfinity() || q.IsInfinity()) return GT::One();
 
@@ -141,7 +124,12 @@ GT MillerLoop(const G1& p, const G2& q) {
   q.ToAffine(&xq, &yq);
 
   // Affine twisted-coordinate loop: slopes live in Fp2; lines are sparse.
+  // Each line value on the M-twist, multiplied through by w^3 (an Fp4
+  // element, killed by the final exponentiation), is
+  //   l = (lambda*x_T - y_T) + (-lambda*x_P) w^2 + (y_P) w^3
+  // and is folded into f with the dedicated sparse product.
   Fp2 xt = xq, yt = yq;
+  Fp2 yp2{yp, Fp::Zero()};
   Fp12 f = Fp12::One();
   int msb = 63;
   while (!((kBlsParamAbs >> msb) & 1)) --msb;
@@ -149,16 +137,14 @@ GT MillerLoop(const G1& p, const G2& q) {
     // Tangent at T.
     Fp2 xt2 = xt.Square();
     Fp2 lambda = (xt2 + xt2 + xt2) * (yt + yt).Inverse();
-    Fp12 l = AssembleLine(lambda * xt - yt, lambda.MulByFp(-xp), yp);
-    f = f.Square() * l;
+    f = f.Square().MulBySparseLine(lambda * xt - yt, lambda.MulByFp(-xp), yp2);
     Fp2 x3 = lambda.Square() - xt - xt;
     yt = lambda * (xt - x3) - yt;
     xt = x3;
     if ((kBlsParamAbs >> i) & 1) {
       // Chord through T and Q.
       Fp2 lam2 = (yq - yt) * (xq - xt).Inverse();
-      Fp12 l2 = AssembleLine(lam2 * xt - yt, lam2.MulByFp(-xp), yp);
-      f = f * l2;
+      f = f.MulBySparseLine(lam2 * xt - yt, lam2.MulByFp(-xp), yp2);
       Fp2 x3a = lam2.Square() - xt - xq;
       yt = lam2 * (xt - x3a) - yt;
       xt = x3a;
@@ -168,12 +154,58 @@ GT MillerLoop(const G1& p, const G2& q) {
   return f.Conjugate();
 }
 
+namespace {
+
+// f^x for the (negative) BLS parameter x = -kBlsParamAbs, valid only in the
+// cyclotomic subgroup where inversion is conjugation.
+Fp12 ExpByBlsX(const Fp12& f) {
+  u64 e[1] = {kBlsParamAbs};
+  return f.PowCyclotomic(std::span<const u64>(e, 1)).Conjugate();
+}
+
+// Shared easy part f^((p^6 - 1)(p^2 + 1)); lands in the cyclotomic
+// subgroup, where Granger-Scott squarings and conjugation-inverse apply.
+Fp12 EasyPart(const Fp12& f) {
+  Fp12 t = f.Conjugate() * f.Inverse();
+  return t.Frobenius().Frobenius() * t;
+}
+
+}  // namespace
+
 GT FinalExponentiation(const GT& f) {
-  // Easy part: f^((p^6 - 1)(p^2 + 1)).
-  GT t = f.Conjugate() * f.Inverse();
-  t = t.Frobenius().Frobenius() * t;
-  // Hard part: t^((p^4 - p^2 + 1) / r), with Granger-Scott squarings —
-  // valid because t is now in the cyclotomic subgroup.
+  // Hard part via the BLS12 parameter addition chain (Hayashida-Hayasaka-
+  // Teruya): computes r^((x-1)^2 (x+p) (x^2+p^2-1) + 3), which equals
+  // r^(3 (p^4-p^2+1)/r). The extra cube is a fixed exponent coprime to the
+  // group order, so the map remains a non-degenerate bilinear pairing and
+  // IsOne checks are unaffected; this is the same convention production
+  // BLS12-381 libraries use. Four exponentiations by the 64-bit |x| replace
+  // the generic ~1270-bit windowed exponentiation (FinalExponentiation-
+  // Generic below keeps the exact-exponent path as the audit oracle).
+  GT r = EasyPart(f);
+  GT y0 = r.CyclotomicSquare();             // r^2
+  GT y1 = ExpByBlsX(r);                     // r^x
+  GT y2 = r.Conjugate();                    // r^-1
+  y1 = y1 * y2;                             // r^(x-1)
+  y2 = ExpByBlsX(y1);                       // r^(x(x-1))
+  y1 = y1.Conjugate();                      // r^-(x-1)
+  y1 = y1 * y2;                             // r^((x-1)^2)
+  y2 = ExpByBlsX(y1);                       // r^(x(x-1)^2)
+  y1 = y1.Frobenius();                      // r^(p(x-1)^2)
+  y1 = y1 * y2;                             // r^((x-1)^2 (x+p))
+  r = r * y0;                               // r^3
+  y0 = ExpByBlsX(y1);                       // r^(x(x-1)^2 (x+p))
+  y2 = ExpByBlsX(y0);                       // r^(x^2(x-1)^2 (x+p))
+  y0 = y1.Frobenius().Frobenius();          // r^(p^2(x-1)^2 (x+p))
+  y1 = y1.Conjugate();                      // r^-((x-1)^2 (x+p))
+  y1 = y1 * y2;                             // r^((x^2-1)(x-1)^2 (x+p))
+  y1 = y1 * y0;                             // r^((x^2+p^2-1)(x-1)^2 (x+p))
+  return r * y1;
+}
+
+GT FinalExponentiationGeneric(const GT& f) {
+  // Exact exponent (p^4 - p^2 + 1)/r derived by integer arithmetic; the
+  // production chain above must equal this raised to the third power.
+  GT t = EasyPart(f);
   const auto& e = HardPartExponent();
   return t.PowCyclotomic(std::span<const u64>(e.data(), e.size()));
 }
@@ -203,11 +235,11 @@ GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs) {
   BatchToAffine<Fp>(std::span<G1>(ps));
   BatchToAffine<Fp2>(std::span<G2>(qs));
 
-  std::vector<Fp> neg_xp(n), yp(n);
-  std::vector<Fp2> xq(n), yq(n), xt(n), yt(n), den(n);
+  std::vector<Fp> neg_xp(n);
+  std::vector<Fp2> yp2(n), xq(n), yq(n), xt(n), yt(n), den(n);
   for (std::size_t k = 0; k < n; ++k) {
     neg_xp[k] = -ps[k].x;
-    yp[k] = ps[k].y;
+    yp2[k] = Fp2{ps[k].y, Fp::Zero()};
     xq[k] = qs[k].x;
     yq[k] = qs[k].y;
     xt[k] = xq[k];
@@ -225,8 +257,8 @@ GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs) {
     for (std::size_t k = 0; k < n; ++k) {
       Fp2 xt2 = xt[k].Square();
       Fp2 lambda = (xt2 + xt2 + xt2) * den[k];
-      f = f * AssembleLine(lambda * xt[k] - yt[k], lambda.MulByFp(neg_xp[k]),
-                           yp[k]);
+      f = f.MulBySparseLine(lambda * xt[k] - yt[k], lambda.MulByFp(neg_xp[k]),
+                            yp2[k]);
       Fp2 x3 = lambda.Square() - xt[k] - xt[k];
       yt[k] = lambda * (xt[k] - x3) - yt[k];
       xt[k] = x3;
@@ -237,8 +269,8 @@ GT MultiPairing(const std::vector<std::pair<G1, G2>>& pairs) {
       BatchInverse(den.data(), n);
       for (std::size_t k = 0; k < n; ++k) {
         Fp2 lambda = (yq[k] - yt[k]) * den[k];
-        f = f * AssembleLine(lambda * xt[k] - yt[k], lambda.MulByFp(neg_xp[k]),
-                             yp[k]);
+        f = f.MulBySparseLine(lambda * xt[k] - yt[k],
+                              lambda.MulByFp(neg_xp[k]), yp2[k]);
         Fp2 x3 = lambda.Square() - xt[k] - xq[k];
         yt[k] = lambda * (xt[k] - x3) - yt[k];
         xt[k] = x3;

@@ -27,8 +27,17 @@ GT MillerLoop(const G1& p, const G2& q);
 // arithmetic); kept for cross-validation.
 GT MillerLoopGeneric(const G1& p, const G2& q);
 
-// Final exponentiation f^((p^12 - 1) / r).
+// Final exponentiation. Computes f^(3 (p^12 - 1) / r) via the BLS12
+// parameter addition chain; the fixed cube is coprime to r, so the result
+// is still a non-degenerate bilinear pairing (the convention production
+// BLS12-381 libraries use) and IsOne checks are unaffected. Every pairing
+// path in this library shares this one function.
 GT FinalExponentiation(const GT& f);
+
+// Audit oracle: the exact exponent f^((p^12 - 1) / r) computed by generic
+// windowed exponentiation against an integer-arithmetic-derived hard part.
+// FinalExponentiation(f) == FinalExponentiationGeneric(f)^3 is unit-tested.
+GT FinalExponentiationGeneric(const GT& f);
 
 // e(p, q).
 GT Pairing(const G1& p, const G2& q);

@@ -412,5 +412,133 @@ TEST(ParallelPathTest, ThreadedBuildAndQueriesMatchSerial) {
   EXPECT_EQ(rec.value, "v3");
 }
 
+// User-side fan-out: the same VO verified serially and over a pool must
+// yield an identical VerifyResult (code, entry index, detail) and identical
+// emitted records, both for valid and tampered VOs. Also part of the TSan
+// workload in scripts/check.sh.
+TEST(ParallelPathTest, ParallelVerifyMatchesSerialByteForByte) {
+  Domain domain{/*dims=*/1, /*bits=*/5};
+  DataOwner owner(RoleSet{"RoleA", "RoleB"}, domain, 4321);
+  std::vector<Record> records;
+  for (std::uint32_t k = 0; k < 24; ++k) {
+    records.push_back(Rec(k, "v" + std::to_string(k),
+                          (k % 3 == 0) ? "RoleA" : "RoleA & RoleB"));
+  }
+  ServiceProvider sp(owner.keys(), owner.BuildAds(records));
+  UserCredentials creds = owner.EnrollUser({"RoleA"});
+  const SystemKeys& keys = owner.keys();
+
+  Box range{Point{1}, Point{20}};
+  Vo vo = sp.RangeQuery(range, creds.roles);
+  ThreadPool pool(4);
+
+  auto run = [&](const Vo& v, ThreadPool* p, std::vector<Record>* out) {
+    return VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                           keys.universe, v, out, /*exact_pairings=*/false, p);
+  };
+  auto same = [](const VerifyResult& a, const VerifyResult& b) {
+    return a.code == b.code && a.entry_index == b.entry_index &&
+           a.detail == b.detail;
+  };
+  auto same_records = [](const std::vector<Record>& a,
+                         const std::vector<Record>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].key != b[i].key || a[i].value != b[i].value) return false;
+    }
+    return true;
+  };
+
+  std::vector<Record> serial_out, pooled_out;
+  VerifyResult serial = run(vo, nullptr, &serial_out);
+  VerifyResult pooled = run(vo, &pool, &pooled_out);
+  EXPECT_TRUE(serial.ok()) << serial.ToString();
+  EXPECT_TRUE(same(serial, pooled))
+      << serial.ToString() << " vs " << pooled.ToString();
+  EXPECT_TRUE(same_records(serial_out, pooled_out));
+  EXPECT_FALSE(serial_out.empty());
+
+  // Tamper with one accessible record's value: the APP signature check for
+  // that entry fails, and both paths must report the same entry with the
+  // same partial results.
+  Vo bad = vo;
+  for (auto& entry : bad.entries) {
+    if (auto* res = std::get_if<ResultEntry>(&entry)) {
+      res->value += "-tampered";
+      break;
+    }
+  }
+  serial_out.clear();
+  pooled_out.clear();
+  VerifyResult serial_bad = run(bad, nullptr, &serial_out);
+  VerifyResult pooled_bad = run(bad, &pool, &pooled_out);
+  EXPECT_FALSE(serial_bad.ok());
+  EXPECT_EQ(serial_bad.code, VerifyCode::kBadSignature);
+  EXPECT_TRUE(same(serial_bad, pooled_bad))
+      << serial_bad.ToString() << " vs " << pooled_bad.ToString();
+  EXPECT_TRUE(same_records(serial_out, pooled_out));
+
+  // The User facade with threads > 1 agrees with the serial facade.
+  User user_par(owner.keys(), creds, /*threads=*/4);
+  User user_ser(owner.keys(), creds);
+  std::vector<Record> par_results, ser_results;
+  std::string error;
+  ASSERT_TRUE(user_par.VerifyRange(range, vo, &par_results, &error)) << error;
+  ASSERT_TRUE(user_ser.VerifyRange(range, vo, &ser_results, &error)) << error;
+  EXPECT_TRUE(same_records(par_results, ser_results));
+  EXPECT_FALSE(user_par.VerifyRange(range, bad, nullptr, &error));
+}
+
+// Join verification over a pool: diagnostics and emitted pairs must match
+// the serial path, including after tampering with one side of a pair.
+TEST(ParallelPathTest, ParallelJoinVerifyMatchesSerial) {
+  Domain domain{/*dims=*/1, /*bits=*/4};
+  DataOwner owner(RoleSet{"RoleA", "RoleB"}, domain, 99);
+  std::vector<Record> r_records, s_records;
+  for (std::uint32_t k = 0; k < 12; ++k) {
+    r_records.push_back(Rec(k, "r" + std::to_string(k),
+                            (k % 4 == 1) ? "RoleB" : "RoleA"));
+    s_records.push_back(Rec(k, "s" + std::to_string(k), "RoleA"));
+  }
+  ServiceProvider sp(owner.keys(), owner.BuildAds(r_records));
+  sp.AttachJoinTable(owner.BuildAds(s_records));
+  UserCredentials creds = owner.EnrollUser({"RoleA"});
+  const SystemKeys& keys = owner.keys();
+
+  Box range{Point{0}, Point{11}};
+  JoinVo vo = sp.JoinQuery(range, creds.roles);
+  ThreadPool pool(4);
+
+  auto run = [&](const JoinVo& v, ThreadPool* p,
+                 std::vector<std::pair<Record, Record>>* out) {
+    return VerifyJoinVoEx(keys.mvk, keys.domain, range, creds.roles,
+                          keys.universe, v, out, /*exact_pairings=*/false, p);
+  };
+
+  std::vector<std::pair<Record, Record>> serial_out, pooled_out;
+  VerifyResult serial = run(vo, nullptr, &serial_out);
+  VerifyResult pooled = run(vo, &pool, &pooled_out);
+  EXPECT_TRUE(serial.ok()) << serial.ToString();
+  EXPECT_EQ(serial.code, pooled.code);
+  EXPECT_EQ(serial.entry_index, pooled.entry_index);
+  EXPECT_EQ(serial.detail, pooled.detail);
+  ASSERT_EQ(serial_out.size(), pooled_out.size());
+  EXPECT_FALSE(serial_out.empty());
+
+  ASSERT_FALSE(vo.pairs.empty());
+  JoinVo bad = vo;
+  bad.pairs.back().s.value += "-tampered";
+  serial_out.clear();
+  pooled_out.clear();
+  VerifyResult serial_bad = run(bad, nullptr, &serial_out);
+  VerifyResult pooled_bad = run(bad, &pool, &pooled_out);
+  EXPECT_FALSE(serial_bad.ok());
+  EXPECT_EQ(serial_bad.code, VerifyCode::kBadSignature);
+  EXPECT_EQ(serial_bad.code, pooled_bad.code);
+  EXPECT_EQ(serial_bad.entry_index, pooled_bad.entry_index);
+  EXPECT_EQ(serial_bad.detail, pooled_bad.detail);
+  EXPECT_EQ(serial_out.size(), pooled_out.size());
+}
+
 }  // namespace
 }  // namespace apqa::core

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/pairing.h"
+#include "crypto/pairing_prepared.h"
 #include "crypto/rng.h"
 
 namespace apqa::crypto {
@@ -111,6 +112,136 @@ TEST(PairingTest, TwistedMillerLoopMatchesGeneric) {
               FinalExponentiation(MillerLoopGeneric(p, q)));
   }
   EXPECT_TRUE(MillerLoopGeneric(G1::Infinity(), G2Generator()).IsOne());
+}
+
+TEST(PairingTest, FinalExponentiationMatchesGenericCubed) {
+  // The production chain computes f^(3 (p^4-p^2+1)/r) after the easy part;
+  // the generic path computes the exact exponent. Cube the oracle.
+  Rng rng(108);
+  for (int i = 0; i < 3; ++i) {
+    GT f = MillerLoop(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+    GT generic = FinalExponentiationGeneric(f);
+    EXPECT_EQ(FinalExponentiation(f), generic * generic * generic);
+  }
+  EXPECT_TRUE(FinalExponentiation(GT::One()).IsOne());
+}
+
+TEST(PairingPreparedTest, MatchesOnTheFlyMillerLoop) {
+  // Cached homogeneous-projective lines differ from the affine lines only
+  // by Fp2 scale factors, so equality holds after final exponentiation.
+  Rng rng(109);
+  for (int i = 0; i < 3; ++i) {
+    G1 p = G1Mul(rng.NextNonZeroFr());
+    G2 q = G2Mul(rng.NextNonZeroFr());
+    G2Prepared qp(q);
+    EXPECT_EQ(FinalExponentiation(MillerLoopPrepared(p, qp)),
+              FinalExponentiation(MillerLoop(p, q)));
+    EXPECT_EQ(PairWith(p, qp), Pairing(p, q));
+    EXPECT_EQ(FinalExponentiation(MillerLoopPrepared(p, qp)),
+              FinalExponentiation(MillerLoopGeneric(p, q)));
+  }
+}
+
+TEST(PairingPreparedTest, OneTableManyG1s) {
+  Rng rng(110);
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  G2Prepared qp(q);
+  for (int i = 0; i < 4; ++i) {
+    G1 p = G1Mul(rng.NextNonZeroFr());
+    EXPECT_EQ(PairWith(p, qp), Pairing(p, q));
+  }
+}
+
+TEST(PairingPreparedTest, SameScalarBothSides) {
+  // "P == Q"-style edge: both sides derived from the same scalar.
+  Rng rng(111);
+  Fr a = rng.NextNonZeroFr();
+  G2Prepared qp(G2Mul(a));
+  EXPECT_EQ(PairWith(G1Mul(a), qp), Pairing(G1Mul(a), G2Mul(a)));
+}
+
+TEST(PairingPreparedTest, IdentitySemantics) {
+  // Documented skip-pair semantics: identity on either side is neutral.
+  Rng rng(112);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  G2Prepared q_inf;  // default: prepared infinity
+  EXPECT_TRUE(q_inf.IsInfinity());
+  EXPECT_TRUE(G2Prepared(G2::Infinity()).IsInfinity());
+  EXPECT_TRUE(PairWith(p, q_inf).IsOne());
+  EXPECT_TRUE(PairWith(G1::Infinity(), G2Prepared(q)).IsOne());
+  EXPECT_TRUE(MillerLoopPrepared(G1::Infinity(), G2Prepared(q)).IsOne());
+  // All pairs skipped -> One.
+  G2Prepared qp(q);
+  EXPECT_TRUE(MultiPairingPrepared({{G1::Infinity(), &qp}, {p, &q_inf}},
+                                   {{p, G2::Infinity()}, {G1::Infinity(), q}})
+                  .IsOne());
+  EXPECT_TRUE(MultiPairingPrepared({}).IsOne());
+  // A skipped pair among live ones drops out of the product.
+  GT with_skips = MultiPairingPrepared({{p, &qp}, {G1::Infinity(), &qp}},
+                                       {{G1::Infinity(), q}});
+  EXPECT_EQ(with_skips, Pairing(p, q));
+}
+
+TEST(PairingPreparedTest, MultiPairingPreparedMatchesMultiPairing) {
+  Rng rng(113);
+  std::vector<std::pair<G1, G2>> pairs;
+  std::vector<G2Prepared> tabs;
+  for (int i = 0; i < 3; ++i) {
+    pairs.emplace_back(G1Mul(rng.NextNonZeroFr()), G2Mul(rng.NextNonZeroFr()));
+  }
+  tabs.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) tabs.emplace_back(q);
+
+  GT want = MultiPairing(pairs);
+  // All prepared.
+  std::vector<PreparedPair> prepped;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    prepped.push_back({pairs[i].first, &tabs[i]});
+  }
+  EXPECT_EQ(MultiPairingPrepared(prepped), want);
+  // Mixed prepared + fresh.
+  EXPECT_EQ(MultiPairingPrepared({prepped[0]}, {pairs[1], pairs[2]}), want);
+  // All fresh.
+  EXPECT_EQ(MultiPairingPrepared({}, pairs), want);
+}
+
+TEST(PairingTest, MultiPairingIdentityPairsSkipped) {
+  // MultiPairing documents e(P, O) = e(O, Q) = 1; pairs with an identity
+  // side must drop out of the product rather than poison it.
+  Rng rng(114);
+  G1 p = G1Mul(rng.NextNonZeroFr());
+  G2 q = G2Mul(rng.NextNonZeroFr());
+  EXPECT_TRUE(MultiPairing({{G1::Infinity(), q}, {p, G2::Infinity()}}).IsOne());
+  EXPECT_TRUE(MultiPairing({}).IsOne());
+  EXPECT_EQ(MultiPairing({{p, q}, {G1::Infinity(), q}}), Pairing(p, q));
+}
+
+TEST(PairingTest, SparseLineMulMatchesFullMul) {
+  Rng rng(115);
+  auto rand_fp = [&rng] {
+    Limbs<6> l;
+    rng.Fill(l.data(), sizeof(l));
+    l[5] &= (u64{1} << 57) - 1;  // keep below 2^377 < p
+    return Fp::FromCanonicalReduce(l);
+  };
+  auto rand_fp2 = [&rand_fp] { return Fp2{rand_fp(), rand_fp()}; };
+  for (int i = 0; i < 4; ++i) {
+    // A random dense element times a random sparse line, both ways.
+    Fp12 dense;
+    dense.c0 = Fp6{rand_fp2(), rand_fp2(), rand_fp2()};
+    dense.c1 = Fp6{rand_fp2(), rand_fp2(), rand_fp2()};
+    Fp2 a0 = rand_fp2(), a2 = rand_fp2(), a3 = rand_fp2();
+    EXPECT_EQ(dense.MulBySparseLine(a0, a2, a3),
+              dense * Fp12::FromSparseLine(a0, a2, a3));
+  }
+  // Degenerate slots.
+  Fp12 dense = Fp12::One();
+  EXPECT_EQ(dense.MulBySparseLine(Fp2::Zero(), Fp2::Zero(), Fp2::Zero()),
+            Fp12::Zero());
+  Fp2 a0 = rand_fp2();
+  EXPECT_EQ(dense.MulBySparseLine(a0, Fp2::Zero(), Fp2::Zero()),
+            Fp12::FromSparseLine(a0, Fp2::Zero(), Fp2::Zero()));
 }
 
 TEST(PairingTest, GTElementHasOrderR) {
