@@ -14,7 +14,10 @@
 #      trace-equivalence tests in ct_check_test (already run in step 2)
 #      cover the same ladders
 #   8. perf smoke: one fast-mode run of bench_pairing_micro with the JSON
-#      sink enabled; fails if the expected rows never reach the file
+#      sink enabled; fails if the expected rows never reach the file or if
+#      whole-VO batched verification is not at least 2x the retained
+#      per-signature path (range_vo_verify_batched <= 0.5x
+#      range_vo_verify_serial)
 #
 # Usage: scripts/check.sh [--quick|--skip-sanitize]
 #   --quick          lint + Release build + ctest only
@@ -108,12 +111,30 @@ PERF_JSON=$(mktemp /tmp/BENCH_pairing_smoke.XXXXXX.json)
 rm -f "$PERF_JSON"
 APQA_BENCH_FAST=1 APQA_BENCH_JSON="$PERF_JSON" \
   ./build/bench/bench_pairing_micro >/dev/null
-for row in pairing_prepared abs_verify_prepared_len12 range_vo_verify_pool4; do
+for row in pairing_prepared abs_verify_prepared_len12 range_vo_verify_pool4 \
+           range_vo_verify_serial range_vo_verify_batched \
+           abs_batch_verify_n8 batch_bisect_tamper_1; do
   if ! grep -q "\"row\":\"$row\"" "$PERF_JSON"; then
     echo "perf smoke: row '$row' missing from $PERF_JSON" >&2
     exit 1
   fi
 done
+# Whole-VO batching must beat the retained per-signature path by >= 2x even
+# in the fast configuration (the full bench measures >= ~9x; the loose gate
+# keeps the smoke robust to noisy single-iteration timings).
+python3 - "$PERF_JSON" <<'EOF'
+import json, sys
+rows = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        r = json.loads(line)
+        rows[r["row"]] = r["ms"]  # last write wins
+serial, batched = rows["range_vo_verify_serial"], rows["range_vo_verify_batched"]
+if batched > 0.5 * serial:
+    sys.exit(f"perf smoke: batched {batched:.1f} ms > 0.5 * serial {serial:.1f} ms")
+print(f"perf smoke: batched {batched:.1f} ms vs serial {serial:.1f} ms "
+      f"({serial / batched:.1f}x)")
+EOF
 rm -f "$PERF_JSON"
 
 echo "=== all checks passed ==="

@@ -12,9 +12,8 @@ using policy::Purge;
 using policy::PurgeResult;
 using policy::SatisfyingVector;
 
-namespace {
+namespace internal {
 
-// mu = H(tau || msg) as an Fr scalar.
 Fr MessageScalar(const std::array<std::uint8_t, 32>& tau,
                  const std::vector<std::uint8_t>& msg) {
   std::vector<std::uint8_t> buf;
@@ -24,10 +23,25 @@ Fr MessageScalar(const std::array<std::uint8_t, 32>& tau,
   return HashToFr(buf.data(), buf.size());
 }
 
-// C * g^mu, the message-binding base.
 G1 MessageBase(const VerifyKey& mvk, const Fr& mu) {
   return mvk.c + mvk.precomp().g_tab.Mul(mu);
 }
+
+Fr SmallExponentWeight(Rng* rng) {
+  crypto::Limbs<4> l{};
+  do {
+    l[0] = rng->NextU64();
+    l[1] = rng->NextU64();
+  } while (l[0] == 0 && l[1] == 0);
+  return Fr::FromCanonical(l);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::MessageBase;
+using internal::MessageScalar;
 
 // Table-backed constant-pattern multiply with a fallback for keys assembled
 // by hand (tests, deserialization paths) whose tables were never built. The
@@ -303,17 +317,9 @@ bool Abs::Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
   // multiplication, since the wNAF ladder length tracks the scalar
   // magnitude.
   Rng rng;  // fresh OS-seeded randomness for the batching weights
-  auto next_weight = [&rng] {
-    crypto::Limbs<4> l{};
-    do {
-      l[0] = rng.NextU64();
-      l[1] = rng.NextU64();
-    } while (l[0] == 0 && l[1] == 0);
-    return Fr::FromCanonical(l);
-  };
-  Fr delta = next_weight();
+  Fr delta = internal::SmallExponentWeight(&rng);
   std::vector<Fr> rho(cols);
-  for (auto& r : rho) r = next_weight();
+  for (auto& r : rho) r = internal::SmallExponentWeight(&rng);
 
   std::vector<crypto::PreparedPair> pairs;
   pairs.reserve(rows + 3);

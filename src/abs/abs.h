@@ -11,6 +11,7 @@
 #ifndef APQA_ABS_ABS_H_
 #define APQA_ABS_ABS_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -126,6 +127,24 @@ struct Signature {
 // Maps a role name to its attribute scalar (SHA-256 into Fr).
 Fr RoleScalar(const std::string& role);
 
+class BatchAccumulator;
+
+namespace internal {
+
+// mu = H(tau || msg) as an Fr scalar.
+Fr MessageScalar(const std::array<std::uint8_t, 32>& tau,
+                 const std::vector<std::uint8_t>& msg);
+
+// C * g^mu, the message-binding base.
+G1 MessageBase(const VerifyKey& mvk, const Fr& mu);
+
+// A nonzero 128-bit batching weight (Bellare–Garay–Rabin small exponent):
+// keeps the per-equation forgery bound at 2^-128 while halving the weight
+// multiplications, since wNAF ladder length tracks scalar magnitude.
+Fr SmallExponentWeight(Rng* rng);
+
+}  // namespace internal
+
 class Abs {
  public:
   // ABS.Setup.
@@ -151,6 +170,17 @@ class Abs {
   static bool Verify(const VerifyKey& mvk, const std::vector<std::uint8_t>& msg,
                      const Policy& predicate, const Signature& sig,
                      bool exact = false);
+
+  // Whole-VO batched verification: performs the same structural checks as
+  // Verify, then accumulates this signature's pairing equations — weighted
+  // with fresh 128-bit small exponents from `rng` — into `acc` instead of
+  // evaluating them. Returns false (leaving `acc` untouched) on a structural
+  // mismatch; a true return means the signature is valid iff the
+  // accumulator's whole product later checks out (BatchAccumulator::Check).
+  static bool AccumulateVerify(const VerifyKey& mvk,
+                               const std::vector<std::uint8_t>& msg,
+                               const Policy& predicate, const Signature& sig,
+                               Rng* rng, BatchAccumulator* acc);
 
   // The pre-engine verifier (on-the-fly MultiPairing, no cached G2 tables).
   // Kept as the same-run baseline for benches and as a differential oracle

@@ -1,0 +1,87 @@
+// Whole-VO batched ABS verification (ROADMAP open item 1).
+//
+// A verification object carries dozens of ABS signatures, and each
+// Abs::Verify already folds its own column equations into one multi-pairing
+// — but still pays its own Miller loops and its own ~3 ms final
+// exponentiation. BatchAccumulator lifts the fold one level: every
+// signature's weighted pairing equations are poured into a single
+// PairingProductAccumulator, grouped by the shared prepared G2 bases the
+// verification key caches (h, h0, a0, and the memoized attribute bases), so
+// the whole VO costs one G1 MSM per base, two shared G2 MSMs for the
+// message-side terms, and ONE final exponentiation.
+//
+// Soundness: each signature k draws its own fresh small-exponent weights
+// delta_k, rho_{k,j} (128-bit, nonzero, from the caller's RNG). The grand
+// product is then a random linear combination of all individual equations
+// with independent coefficients, so a passing product implies every
+// signature verifies except with probability <= n * 2^-128 — no nested
+// outer weights are needed, and all MSM scalars stay ~128 bits (only the
+// mu*rho message terms are full-width). Completeness is deterministic:
+// valid signatures satisfy their equations identically, so the product of
+// their weighted forms is exactly one.
+//
+// Message-side aggregation: signature k's fresh pair e(-(C g^{mu_k}),
+// sum_j rho_{k,j} P_{k,j}) would need a fresh G2Prepared per signature
+// (~0.8 ms each). Instead it is split over the shared G1 points C and g:
+//   e(-C, sum_k sum_j rho_{k,j} P_{k,j}) * e(-g, sum_k mu_k sum_j ...)
+// — two deferred G2 MSMs pairing against just two fresh G2 points. Those
+// two MSMs fold the SAME points under different weights, as do the -Y
+// folds against h (column-0 weight) and h0 (W-equation weight), so both
+// run as shared-table multi-set MSMs (crypto::MsmShared): one table build,
+// one accumulation chain per weight vector.
+#ifndef APQA_ABS_BATCH_VERIFY_H_
+#define APQA_ABS_BATCH_VERIFY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "abs/abs.h"
+#include "crypto/pairing_accumulator.h"
+
+namespace apqa::abs {
+
+class BatchAccumulator {
+ public:
+  using ParallelRunner = crypto::PairingProductAccumulator::ParallelRunner;
+
+  // The key must outlive the accumulator (its precomp owns the prepared G2
+  // tables the buckets point into).
+  explicit BatchAccumulator(const VerifyKey& mvk) : mvk_(mvk) {}
+
+  // Folds one signature's equations into the batch under fresh weights from
+  // `rng`. Returns false — leaving the batch untouched — iff the signature
+  // fails Verify's structural checks (component counts, Y != infinity);
+  // those failures are deterministic, so callers can blame them without
+  // running the batch. Prefer calling through Abs::AccumulateVerify.
+  bool Accumulate(const std::vector<std::uint8_t>& msg,
+                  const Policy& predicate, const Signature& sig, Rng* rng);
+
+  // Number of signatures successfully accumulated.
+  std::size_t Size() const { return count_; }
+
+  // Evaluates the whole product: true iff (whp) every accumulated signature
+  // is valid. The per-base G1 MSMs and the two message-side G2 MSMs fan out
+  // over `runner` when provided. Single use: after Check the accumulator is
+  // spent.
+  bool Check(const ParallelRunner& runner = {});
+
+ private:
+  const VerifyKey& mvk_;
+  crypto::PairingProductAccumulator acc_;
+  // Deferred -Y folds: against h under the column-0 weight and against h0
+  // under the W-equation weight — one shared-table multi-set G1 MSM.
+  std::vector<G1> y_pts_;
+  std::vector<Fr> y_rho0_;
+  std::vector<Fr> y_delta_;
+  // Deferred message-side terms: e(-C, sum rho_j P_j) and
+  // e(-g, sum mu*rho_j P_j) across all signatures — one shared-table
+  // multi-set G2 MSM.
+  std::vector<G2> p_pts_;
+  std::vector<Fr> p_rho_;
+  std::vector<Fr> p_murho_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace apqa::abs
+
+#endif  // APQA_ABS_BATCH_VERIFY_H_

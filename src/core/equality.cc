@@ -1,5 +1,7 @@
 #include "core/equality.h"
 
+#include "core/parallel_verify.h"
+
 namespace apqa::core {
 
 namespace {
@@ -34,7 +36,6 @@ VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const RoleSet& universe, const Vo& vo,
                                 Record* result, bool* accessible,
                                 bool exact_pairings, ThreadPool* pool) {
-  (void)pool;  // single signature: nothing to fan out
   if (!domain.ContainsPoint(key)) {
     return VerifyResult::Fail(VerifyCode::kBadQuery,
                               "query key outside domain");
@@ -54,11 +55,14 @@ VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
                                 "result policy not satisfied by user roles",
                                 0);
     }
-    auto msg = RecordMessage(res->key, res->value);
-    if (!Abs::Verify(mvk, msg, res->policy, res->app_sig, exact_pairings)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "APP signature verification failed", 0);
-    }
+    // A single signature, but routed through SigBatch like every other Ex
+    // verifier so all paths share one checking engine (and its fallbacks).
+    SigBatch batch(mvk, exact_pairings);
+    batch.Add(RecordMessage(res->key, res->value), &res->policy, &res->app_sig,
+              VerifyResult::Fail(VerifyCode::kBadSignature,
+                                 "APP signature verification failed", 0));
+    std::ptrdiff_t fail = batch.FirstFailure(pool);
+    if (fail >= 0) return batch.failure(fail);
     if (result != nullptr) *result = Record{res->key, res->value, res->policy};
     if (accessible != nullptr) *accessible = true;
     return VerifyResult::Ok();
@@ -71,11 +75,13 @@ VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
     }
     RoleSet lacked = SuperPolicyRoles(universe, user_roles);
     Policy super_policy = Policy::OrOfRoles(lacked);
-    auto msg = RecordMessageFromHash(rec->key, rec->value_hash);
-    if (!Abs::Verify(mvk, msg, super_policy, rec->aps_sig, exact_pairings)) {
-      return VerifyResult::Fail(VerifyCode::kBadSignature,
-                                "APS signature verification failed", 0);
-    }
+    SigBatch batch(mvk, exact_pairings);
+    batch.Add(RecordMessageFromHash(rec->key, rec->value_hash), &super_policy,
+              &rec->aps_sig,
+              VerifyResult::Fail(VerifyCode::kBadSignature,
+                                 "APS signature verification failed", 0));
+    std::ptrdiff_t fail = batch.FirstFailure(pool);
+    if (fail >= 0) return batch.failure(fail);
     if (accessible != nullptr) *accessible = false;
     return VerifyResult::Ok();
   }

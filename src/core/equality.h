@@ -26,8 +26,8 @@ Vo BuildEqualityVo(const GridTree& tree, const VerifyKey& mvk, const Point& key,
 // User side: verifies the VO against the queried key. On success, when the
 // record is accessible, `result` (if not null) receives it and *accessible
 // is set accordingly.
-// `pool` is accepted for API uniformity with the other verifiers; an
-// equality VO carries a single signature, so the check runs inline.
+// The single signature check routes through SigBatch like every other Ex
+// verifier (see core/parallel_verify.h); `pool` keeps the API uniform.
 VerifyResult VerifyEqualityVoEx(const VerifyKey& mvk, const Domain& domain,
                                 const Point& key, const RoleSet& user_roles,
                                 const RoleSet& universe, const Vo& vo,

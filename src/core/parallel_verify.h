@@ -1,21 +1,33 @@
-// Deterministic parallel fan-out for VO signature checks.
+// Whole-VO signature batching with deterministic blame.
 //
 // Every verifier walks its VO once, doing the cheap structural checks
 // (coverage, key agreement, policy evaluation) serially in the original
 // order, and queues the expensive ABS signature checks into a SigBatch.
-// The batch then runs them either serially (short-circuiting at the first
-// failure) or fanned out over a ThreadPool — and in both cases reports the
-// *lowest* failing job index. Because jobs are queued in the exact order
-// the sequential verifier would have evaluated them, and any structural
-// failure aborts queueing, the diagnostic a caller sees — which
-// VerifyResult, with which entry index — is byte-identical regardless of
-// the pool. Partial-result emission follows the same rule: an entry's
-// results are emitted iff all its jobs precede the first failing job.
+// By default the batch folds ALL queued signatures into one
+// abs::BatchAccumulator — one G1 MSM per shared prepared G2 base, two
+// shared message-side G2 MSMs, and a single final exponentiation for the
+// entire VO — instead of running one multi-pairing per signature.
+//
+// Blame stays byte-identical to the sequential verifier. Jobs are queued in
+// the exact order the sequential verifier would have evaluated them, and
+// FirstFailure reports the *lowest* failing job index:
+//   - structural failures (component counts, Y at infinity) are found
+//     deterministically while accumulating and bound the batch to the jobs
+//     before them;
+//   - if the whole-batch check fails, a prefix bisection (log2 n re-batches,
+//     each over ~half the remaining range) recovers the lowest
+//     cryptographically failing index — same index the sequential verifier
+//     would return, up to the 2^-128 batching soundness bound.
+// The per-signature path is retained as the diagnostic fallback: exact-mode
+// callers, single-job batches, and anything under a ScopedPerSignatureVerify
+// guard run one Abs::Verify per job (serially short-circuiting, or fanned
+// out over the ThreadPool with an atomic min-failure index so workers stop
+// once every job below the best-known failure has been claimed).
 //
 // Thread-safety: jobs only read the VO, the verify key's prepared tables
 // (immutable once built; the attribute memo is mutex-guarded), and
-// per-call randomness inside Abs::Verify. Workers write disjoint slots of
-// the outcome vector, so the fan-out is TSan-clean by construction.
+// per-call randomness. Pool workers write disjoint slots or claim jobs via
+// monotonic fetch_add, so the fan-out is TSan-clean by construction.
 #ifndef APQA_CORE_PARALLEL_VERIFY_H_
 #define APQA_CORE_PARALLEL_VERIFY_H_
 
@@ -25,10 +37,27 @@
 #include <vector>
 
 #include "abs/abs.h"
+#include "abs/batch_verify.h"
 #include "core/thread_pool.h"
 #include "core/verify_result.h"
 
 namespace apqa::core {
+
+// RAII guard forcing SigBatch::FirstFailure onto the retained per-signature
+// path for the current thread. Used by benches (to keep measuring the
+// pre-batching baseline) and by tests comparing the two paths.
+class ScopedPerSignatureVerify {
+ public:
+  ScopedPerSignatureVerify() { ++depth_; }
+  ~ScopedPerSignatureVerify() { --depth_; }
+  ScopedPerSignatureVerify(const ScopedPerSignatureVerify&) = delete;
+  ScopedPerSignatureVerify& operator=(const ScopedPerSignatureVerify&) =
+      delete;
+  static bool Active() { return depth_ > 0; }
+
+ private:
+  static inline thread_local int depth_ = 0;
+};
 
 class SigBatch {
  public:
@@ -48,30 +77,34 @@ class SigBatch {
   std::size_t size() const { return jobs_.size(); }
 
   // Runs the queued checks; returns the lowest failing job index, or -1 if
-  // all pass. Serial when `pool` is null, single-threaded, or there is at
-  // most one job.
+  // all pass. Default: whole-VO batch with bisect blame recovery; exact
+  // mode, tiny batches, and ScopedPerSignatureVerify fall back to one
+  // verify per job.
   std::ptrdiff_t FirstFailure(ThreadPool* pool) const {
     const std::size_t n = jobs_.size();
-    if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!Check(jobs_[i])) return static_cast<std::ptrdiff_t>(i);
-      }
-      return -1;
+    if (exact_ || n <= 1 || ScopedPerSignatureVerify::Active()) {
+      return PerSignatureFirstFailure(pool);
     }
-    std::vector<char> ok(n, 0);
-    std::atomic<std::size_t> next{0};
-    pool->ParallelFor(static_cast<std::size_t>(pool->thread_count()),
-                      [&](std::size_t) {
-                        for (;;) {
-                          std::size_t i = next.fetch_add(1);
-                          if (i >= n) break;
-                          ok[i] = Check(jobs_[i]) ? 1 : 0;
-                        }
-                      });
+
+    // Accumulate in sequential order until the first structural failure:
+    // the sequential verifier never evaluates anything past it, so jobs
+    // beyond `s` are irrelevant to blame and emission.
+    abs::Rng rng;
+    abs::BatchAccumulator acc(mvk_);
+    std::size_t s = n;
     for (std::size_t i = 0; i < n; ++i) {
-      if (ok[i] == 0) return static_cast<std::ptrdiff_t>(i);
+      if (!abs::Abs::AccumulateVerify(mvk_, jobs_[i].msg, *jobs_[i].policy,
+                                      *jobs_[i].sig, &rng, &acc)) {
+        s = i;
+        break;
+      }
     }
-    return -1;
+    if (acc.Check(MakeRunner(pool))) {
+      // Everything before the structural failure (or everything, s == n)
+      // verifies — whp the lowest failure is the structural one.
+      return s == n ? -1 : static_cast<std::ptrdiff_t>(s);
+    }
+    return Bisect(pool, s);
   }
 
   const VerifyResult& failure(std::ptrdiff_t i) const {
@@ -96,6 +129,83 @@ class SigBatch {
 
   bool Check(const Job& j) const {
     return abs::Abs::Verify(mvk_, j.msg, *j.policy, *j.sig, exact_);
+  }
+
+  static abs::BatchAccumulator::ParallelRunner MakeRunner(ThreadPool* pool) {
+    if (pool == nullptr || pool->thread_count() <= 1) return {};
+    return [pool](std::size_t n,
+                  const std::function<void(std::size_t)>& task) {
+      pool->ParallelFor(n, task);
+    };
+  }
+
+  // Re-batches jobs [lo, hi) with fresh weights; true iff the range passes.
+  // Structural validity of every job in the range is already established by
+  // the first accumulation pass.
+  bool RangePasses(ThreadPool* pool, std::size_t lo, std::size_t hi) const {
+    abs::Rng rng;
+    abs::BatchAccumulator acc(mvk_);
+    for (std::size_t i = lo; i < hi; ++i) {
+      abs::Abs::AccumulateVerify(mvk_, jobs_[i].msg, *jobs_[i].policy,
+                                 *jobs_[i].sig, &rng, &acc);
+    }
+    return acc.Check(MakeRunner(pool));
+  }
+
+  // The batch over [0, hi) failed, so the lowest failing index lies in
+  // [0, hi). Prefix bisection: checking [lo, mid) either clears it (lowest
+  // failure moves to [mid, hi)) or tightens to [lo, mid). log2 n re-batches
+  // totalling ~hi extra accumulations — paid only on the failure path.
+  std::ptrdiff_t Bisect(ThreadPool* pool, std::size_t hi) const {
+    std::size_t lo = 0;
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (RangePasses(pool, lo, mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::ptrdiff_t>(lo);
+  }
+
+  // Retained diagnostic fallback: one Abs::Verify per job. Serial when
+  // `pool` is null, single-threaded, or there is at most one job; the pool
+  // path tracks the lowest known failure in an atomic so workers stop as
+  // soon as every job below it has been claimed.
+  std::ptrdiff_t PerSignatureFirstFailure(ThreadPool* pool) const {
+    const std::size_t n = jobs_.size();
+    if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!Check(jobs_[i])) return static_cast<std::ptrdiff_t>(i);
+      }
+      return -1;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> min_fail{n};
+    pool->ParallelFor(
+        static_cast<std::size_t>(pool->thread_count()), [&](std::size_t) {
+          for (;;) {
+            std::size_t i = next.fetch_add(1);
+            // fetch_add claims indices in increasing order and min_fail
+            // only ever decreases, so once a claim lands at or above the
+            // best-known failure every later claim will too: stop. Every
+            // index below the final min_fail was claimed before min_fail
+            // could have dropped past it, hence evaluated — the minimum is
+            // exact.
+            if (i >= n || i >= min_fail.load(std::memory_order_relaxed)) {
+              break;
+            }
+            if (!Check(jobs_[i])) {
+              std::size_t cur = min_fail.load(std::memory_order_relaxed);
+              while (i < cur && !min_fail.compare_exchange_weak(
+                                    cur, i, std::memory_order_relaxed)) {
+              }
+            }
+          }
+        });
+    std::size_t f = min_fail.load();
+    return f == n ? -1 : static_cast<std::ptrdiff_t>(f);
   }
 
   const abs::VerifyKey& mvk_;

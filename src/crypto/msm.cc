@@ -10,6 +10,16 @@ G2 G2Msm(std::span<const G2> pts, std::span<const Fr> scalars) {
   return Msm<Fp2>(pts, scalars);
 }
 
+std::vector<G1> G1MsmShared(std::span<const G1> pts,
+                            std::span<const std::vector<Fr>> scalar_sets) {
+  return MsmShared<Fp>(pts, scalar_sets);
+}
+
+std::vector<G2> G2MsmShared(std::span<const G2> pts,
+                            std::span<const std::vector<Fr>> scalar_sets) {
+  return MsmShared<Fp2>(pts, scalar_sets);
+}
+
 const FixedBaseTable<Fp>& G1GeneratorTable() {
   static const FixedBaseTable<Fp> t(G1Generator());
   return t;

@@ -22,6 +22,7 @@
 #ifndef APQA_CRYPTO_MSM_H_
 #define APQA_CRYPTO_MSM_H_
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -168,22 +169,169 @@ inline unsigned ExtractWindow(const Limbs<4>& e, std::size_t pos,
   return static_cast<unsigned>(v & ((u64{1} << bits) - 1));
 }
 
-// Pippenger window width: roughly log2(n) - 1, clamped to practical sizes.
-inline unsigned PippengerWindow(std::size_t n) {
-  if (n < 32) return 4;
-  if (n < 128) return 6;
-  if (n < 512) return 8;
-  if (n < 2048) return 10;
-  return 12;
+// Longest bit length over the (canonical) scalars. Whole-VO batch
+// verification folds with 128-bit small-exponent weights, so sizing the
+// window loop to the actual scalar width instead of a fixed 255 bits halves
+// both the bucket passes and the collapse work.
+inline std::size_t MaxBitLength(const std::vector<Limbs<4>>& es) {
+  std::size_t bits = 0;
+  for (const auto& e : es) {
+    std::size_t b = BitLengthLimbs<4>(e);
+    if (b > bits) bits = b;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+// Pippenger window width: minimizes windows * (bucket adds + collapse adds)
+// for the given term count and scalar width.
+inline unsigned PippengerWindow(std::size_t n, std::size_t bits) {
+  unsigned best_c = 2;
+  double best = 0;
+  for (unsigned c = 2; c <= 13; ++c) {
+    double windows = static_cast<double>((bits + c - 1) / c);
+    double cost =
+        windows * (static_cast<double>(n) + 2.0 * ((1u << c) - 1));
+    if (best_c == c || cost < best) {
+      best = cost;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+// Width-w wNAF recoding of a canonical scalar: odd digits in
+// {±1, ±3, ..., ±(2^w - 1)}, nonzero density ~1/(w + 1.3). One extra limb
+// absorbs the carry out of the top bit, so the recoded length can reach
+// 256 + 1.
+inline constexpr std::size_t kWnafMaxLen = 257;
+
+inline std::size_t WnafRecode(const Limbs<4>& e, unsigned width,
+                              signed char out[kWnafMaxLen]) {
+  const int window = 1 << (width + 1);
+  Limbs<5> n{};
+  for (int i = 0; i < 4; ++i) n[i] = e[i];
+  std::size_t len = 0;
+  while (!IsZeroLimbs<5>(n)) {
+    int d = 0;
+    if (n[0] & 1) {
+      d = static_cast<int>(n[0] & static_cast<u64>(window - 1));
+      if (d >= window / 2) d -= window;
+      Limbs<5> v{};
+      if (d > 0) {
+        v[0] = static_cast<u64>(d);
+        SubLimbs<5>(n, v, &n);
+      } else {
+        v[0] = static_cast<u64>(-d);
+        AddLimbs<5>(n, v, &n);
+      }
+    }
+    out[len++] = static_cast<signed char>(d);
+    Shr1Limbs<5>(&n);
+  }
+  return len;
+}
+
+// wNAF width minimizing table-build plus chain additions for one point
+// carrying `chain_bits` total scalar bits (summed over every scalar set the
+// table serves). Costs in mixed-add units: a table holds 2^(w-1) - 1
+// additions (~1.45x a mixed add before the batch normalization discount)
+// plus one doubling; the chain contributes one mixed add per nonzero digit.
+inline unsigned StrausWidth(std::size_t chain_bits) {
+  unsigned best_w = 2;
+  double best = 0;
+  for (unsigned w = 2; w <= 6; ++w) {
+    double table = ((1u << (w - 1)) - 1) * 1.45 + 0.7;
+    double chain = static_cast<double>(chain_bits) / (w + 1.3);
+    if (w == 2 || table + chain < best) {
+      best = table + chain;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+// Affine tables of the odd multiples {1, 3, ..., 2^width - 1} * P for every
+// point, laid out point-major. Two batch normalizations keep everything on
+// mixed additions: {P, 2P} first, then the odd-multiple ladder built from
+// the affine 2P.
+template <typename F>
+std::vector<CurvePoint<F>> StrausTables(const std::vector<CurvePoint<F>>& ps,
+                                        unsigned width) {
+  const std::size_t n = ps.size();
+  const std::size_t odd = std::size_t{1} << (width - 1);
+  std::vector<CurvePoint<F>> base(2 * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    base[2 * k] = ps[k];
+    base[2 * k + 1] = ps[k].Double();
+  }
+  // Prime-order inputs: no multiple below 2^width * P can be infinity, so
+  // the affine tables are total.
+  BatchToAffine<F>(std::span<CurvePoint<F>>(base));
+  std::vector<CurvePoint<F>> tab(n * odd);
+  for (std::size_t k = 0; k < n; ++k) {
+    tab[k * odd] = base[2 * k];
+    for (std::size_t i = 1; i < odd; ++i) {
+      tab[k * odd + i] =
+          tab[k * odd + i - 1].AddMixed(base[2 * k + 1].x, base[2 * k + 1].y);
+    }
+  }
+  BatchToAffine<F>(std::span<CurvePoint<F>>(tab));
+  return tab;
+}
+
+// One interleaved-wNAF accumulation pass over precomputed odd-multiple
+// tables: a single doubling chain shared by every term, one mixed addition
+// per nonzero digit.
+template <typename F>
+CurvePoint<F> StrausChain(const std::vector<CurvePoint<F>>& tab,
+                          unsigned width,
+                          const std::vector<Limbs<4>>& es) {
+  const std::size_t n = es.size();
+  const std::size_t odd = std::size_t{1} << (width - 1);
+  std::vector<std::array<signed char, kWnafMaxLen>> naf(n);
+  std::size_t maxlen = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    naf[k].fill(0);
+    std::size_t len = WnafRecode(es[k], width, naf[k].data());
+    if (len > maxlen) maxlen = len;
+  }
+  CurvePoint<F> acc = CurvePoint<F>::Infinity();
+  for (std::size_t i = maxlen; i-- > 0;) {
+    acc = acc.Double();
+    for (std::size_t k = 0; k < n; ++k) {
+      int d = naf[k][i];
+      if (d == 0) continue;
+      std::size_t idx =
+          k * odd + static_cast<std::size_t>((d < 0 ? -d : d) >> 1);
+      acc = d > 0 ? acc.AddMixed(tab[idx].x, tab[idx].y)
+                  : acc.AddMixed(tab[idx].x, -tab[idx].y);
+    }
+  }
+  return acc;
+}
+
+// Interleaved wNAF (Straus): per-point affine odd-multiple tables plus one
+// shared doubling chain. For the dozens-of-terms, short-scalar MSMs
+// produced by whole-VO batch verification this beats Pippenger, whose
+// per-window bucket collapse dominates at such sizes; Pippenger takes over
+// once the term count amortizes its buckets (see kMsmStrausCutoff).
+template <typename F>
+CurvePoint<F> StrausMsm(const std::vector<CurvePoint<F>>& ps,
+                        const std::vector<Limbs<4>>& es) {
+  const unsigned width = StrausWidth(MaxBitLength(es));
+  return StrausChain<F>(StrausTables<F>(ps, width), width, es);
 }
 
 }  // namespace msm_internal
 
 // Multi-scalar multiplication: sum_i scalars[i] * pts[i]. Sizes must match.
-// Below `kMsmNaiveCutoff` terms the plain per-term wNAF loop wins; above it
+// A single term is a plain wNAF multiply; from 2 up to `kMsmStrausCutoff`
+// terms the shared-doubling interleaved wNAF (StrausMsm) wins; above it
 // Pippenger's bucket method is used (points batch-normalized to affine so
-// bucket accumulation runs on mixed additions).
-inline constexpr std::size_t kMsmNaiveCutoff = 8;
+// bucket accumulation runs on mixed additions). Both multi-term paths size
+// their window loops to the widest actual scalar, so 128-bit batching
+// weights cost roughly half of full-width folds.
+inline constexpr std::size_t kMsmStrausCutoff = 128;
 
 template <typename F>
 CurvePoint<F> Msm(std::span<const CurvePoint<F>> pts,
@@ -204,18 +352,15 @@ CurvePoint<F> Msm(std::span<const CurvePoint<F>> pts,
   }
   if (ps.empty()) return CurvePoint<F>::Infinity();
 
-  if (ps.size() < kMsmNaiveCutoff) {
-    CurvePoint<F> acc = CurvePoint<F>::Infinity();
-    for (std::size_t i = 0; i < ps.size(); ++i) {
-      acc = acc + ps[i].ScalarMul(Fr::FromCanonical(es[i]));
-    }
-    return acc;
+  if (ps.size() == 1) return ps[0].ScalarMulCanonical(es[0]);
+  if (ps.size() < kMsmStrausCutoff) {
+    return msm_internal::StrausMsm<F>(ps, es);
   }
 
   BatchToAffine<F>(std::span<CurvePoint<F>>(ps));
 
-  const unsigned c = msm_internal::PippengerWindow(ps.size());
-  const std::size_t scalar_bits = 255;
+  const std::size_t scalar_bits = msm_internal::MaxBitLength(es);
+  const unsigned c = msm_internal::PippengerWindow(ps.size(), scalar_bits);
   const std::size_t windows = (scalar_bits + c - 1) / c;
   std::vector<CurvePoint<F>> buckets((std::size_t{1} << c) - 1);
 
@@ -243,6 +388,56 @@ CurvePoint<F> Msm(std::span<const CurvePoint<F>> pts,
 
 G1 G1Msm(std::span<const G1> pts, std::span<const Fr> scalars);
 G2 G2Msm(std::span<const G2> pts, std::span<const Fr> scalars);
+
+// Multi-set MSM: folds the SAME points under several scalar sets, returning
+// one result per set. The per-point odd-multiple tables — the fixed cost of
+// the interleaved-wNAF path — are built once and shared by every set, so k
+// folds over n points cost one table build plus k accumulation chains
+// instead of k full MSMs. Whole-VO batch verification leans on this twice:
+// the signature Y components fold under both the column-0 and W-equation
+// weights, and the message-side G2 points fold under both the rho and
+// mu*rho weight vectors. Every set must have exactly pts.size() scalars.
+template <typename F>
+std::vector<CurvePoint<F>> MsmShared(
+    std::span<const CurvePoint<F>> pts,
+    std::span<const std::vector<Fr>> scalar_sets) {
+  const std::size_t sets = scalar_sets.size();
+  std::vector<CurvePoint<F>> out(sets, CurvePoint<F>::Infinity());
+  if (sets == 0) return out;
+
+  // Drop points at infinity from every set (they contribute the identity);
+  // zero scalars recode to an empty wNAF and cost nothing, so they stay.
+  std::vector<CurvePoint<F>> ps;
+  std::vector<std::vector<Limbs<4>>> es(sets);
+  ps.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].IsInfinity()) continue;
+    ps.push_back(pts[i]);
+    for (std::size_t s = 0; s < sets; ++s) {
+      es[s].push_back(scalar_sets[s][i].ToCanonical());
+    }
+  }
+  if (ps.empty()) return out;
+  if (ps.size() == 1) {
+    for (std::size_t s = 0; s < sets; ++s) {
+      if (!IsZeroLimbs<4>(es[s][0])) out[s] = ps[0].ScalarMulCanonical(es[s][0]);
+    }
+    return out;
+  }
+  std::size_t chain_bits = 0;
+  for (const auto& e : es) chain_bits += msm_internal::MaxBitLength(e);
+  const unsigned width = msm_internal::StrausWidth(chain_bits);
+  std::vector<CurvePoint<F>> tab = msm_internal::StrausTables<F>(ps, width);
+  for (std::size_t s = 0; s < sets; ++s) {
+    out[s] = msm_internal::StrausChain<F>(tab, width, es[s]);
+  }
+  return out;
+}
+
+std::vector<G1> G1MsmShared(std::span<const G1> pts,
+                            std::span<const std::vector<Fr>> scalar_sets);
+std::vector<G2> G2MsmShared(std::span<const G2> pts,
+                            std::span<const std::vector<Fr>> scalar_sets);
 
 // Fixed-base tables for the standard G1/G2 generators (built on first use;
 // G1Mul/G2Mul in curve.cc route through these).

@@ -1,0 +1,80 @@
+// Pairing-product accumulator: many pairing equations, one final
+// exponentiation.
+//
+// Whole-VO batched verification folds the pairing equations of every
+// signature in a verification object into a single product
+//   prod_b e(MSM_b, Q_b) * prod_f e(P_f, R_f) == 1,
+// where each Q_b is a long-lived prepared G2 base (master-key component or
+// memoized attribute base) shared by many G1-side terms, and the (P_f, R_f)
+// are per-call fresh pairs (the caller folds any G2-side MSMs first — see
+// abs/batch_verify.h). The accumulator groups (point, scalar) terms by
+// their G2Prepared base, folds each group with one G1 Pippenger/Straus
+// MSM, and evaluates everything with one MultiPairingPrepared — a single
+// shared Miller squaring chain and a single final exponentiation for the
+// whole product.
+//
+// The per-base MSMs are mutually independent, so IsOne() optionally fans
+// them out over a caller-provided parallel runner (core's ThreadPool wraps
+// into one); the final multi-pairing stays serial.
+//
+// Soundness is the caller's contract: the terms must already carry the
+// random batching weights (Bellare–Garay–Rabin small exponents) that make a
+// passing product imply every folded equation holds, up to the weight
+// entropy. This layer only does the algebra.
+#ifndef APQA_CRYPTO_PAIRING_ACCUMULATOR_H_
+#define APQA_CRYPTO_PAIRING_ACCUMULATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "crypto/msm.h"
+#include "crypto/pairing_prepared.h"
+
+namespace apqa::crypto {
+
+class PairingProductAccumulator {
+ public:
+  // Runs task(i) for every i in [0, n); tasks are independent. A default
+  // (empty) runner executes serially on the calling thread.
+  using ParallelRunner =
+      std::function<void(std::size_t n,
+                         const std::function<void(std::size_t)>& task)>;
+
+  // Multiplies e(p, *base)^scalar into the product. `base` must stay alive
+  // until IsOne(); terms sharing a base pointer are folded with one G1 MSM.
+  // Zero scalars, infinity points and prepared-infinity bases contribute
+  // the neutral element and are dropped.
+  void Add(const G2Prepared* base, const G1& p, const Fr& scalar);
+
+  // Multiplies the one-off pair e(p, q) into the product (any weight must
+  // already be applied to a side).
+  void AddFresh(const G1& p, const G2& q);
+
+  // Number of accumulated terms across all groups and fresh pairs.
+  std::size_t TermCount() const { return terms_; }
+
+  // Folds every group and evaluates the product: one G1 MSM per base
+  // (fanned out over `runner` when provided), then a single
+  // MultiPairingPrepared. An empty accumulator is the empty product and
+  // returns true.
+  bool IsOne(const ParallelRunner& runner = {}) const;
+
+ private:
+  struct Bucket {
+    const G2Prepared* base;
+    std::vector<G1> pts;
+    std::vector<Fr> scalars;
+  };
+
+  std::vector<Bucket> buckets_;            // insertion-ordered
+  std::map<const G2Prepared*, std::size_t> bucket_index_;
+  std::vector<std::pair<G1, G2>> fresh_;
+  std::size_t terms_ = 0;
+};
+
+}  // namespace apqa::crypto
+
+#endif  // APQA_CRYPTO_PAIRING_ACCUMULATOR_H_

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "abs/abs.h"
+#include "abs/batch_verify.h"
 #include "crypto/serde.h"
 
 namespace apqa::abs {
@@ -188,6 +189,109 @@ TEST_F(AbsTest, KeyGenCovers) {
   EXPECT_TRUE(sk.Covers({"RoleA"}));
   EXPECT_TRUE(sk.Covers({"RoleA", "RoleB"}));
   EXPECT_FALSE(sk.Covers({"RoleC"}));
+}
+
+// --- Whole-VO batched verification (abs/batch_verify.h) ---
+
+TEST_F(AbsTest, BatchAcceptsValidSignatures) {
+  std::vector<Policy> preds = {
+      Policy::Parse("RoleA"),
+      Policy::Parse("RoleA & RoleB"),
+      Policy::Parse("(RoleA & RoleB) | RoleC"),
+  };
+  BatchAccumulator acc(mvk_);
+  std::vector<std::pair<std::vector<std::uint8_t>, Signature>> sigs;
+  for (std::size_t k = 0; k < 9; ++k) {
+    auto msg = Msg("m" + std::to_string(k));
+    auto sig = Abs::Sign(mvk_, sk_all_, msg, preds[k % preds.size()],
+                         rng_.get());
+    ASSERT_TRUE(sig.has_value());
+    ASSERT_TRUE(Abs::AccumulateVerify(mvk_, msg, preds[k % preds.size()],
+                                      *sig, rng_.get(), &acc));
+  }
+  EXPECT_EQ(acc.Size(), 9u);
+  EXPECT_TRUE(acc.Check());
+}
+
+TEST_F(AbsTest, BatchRejectsOneTamperedSignature) {
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  for (int tampered = 0; tampered < 3; ++tampered) {
+    BatchAccumulator acc(mvk_);
+    for (int k = 0; k < 3; ++k) {
+      auto msg = Msg("m" + std::to_string(k));
+      auto sig = Abs::Sign(mvk_, sk_all_, msg, pred, rng_.get());
+      ASSERT_TRUE(sig.has_value());
+      if (k == tampered) sig->s[0] = sig->s[0].Double();
+      ASSERT_TRUE(
+          Abs::AccumulateVerify(mvk_, msg, pred, *sig, rng_.get(), &acc));
+    }
+    EXPECT_FALSE(acc.Check()) << "tampered index " << tampered;
+  }
+}
+
+TEST_F(AbsTest, BatchStructuralFailureLeavesBatchUntouched) {
+  Policy pred = Policy::Parse("RoleA");
+  auto good = Abs::Sign(mvk_, sk_all_, Msg("ok"), pred, rng_.get());
+  ASSERT_TRUE(good.has_value());
+  BatchAccumulator acc(mvk_);
+  ASSERT_TRUE(
+      Abs::AccumulateVerify(mvk_, Msg("ok"), pred, *good, rng_.get(), &acc));
+
+  Signature wrong_shape = *good;
+  wrong_shape.s.push_back(crypto::G1Generator());
+  EXPECT_FALSE(Abs::AccumulateVerify(mvk_, Msg("ok"), pred, wrong_shape,
+                                     rng_.get(), &acc));
+  Signature y_inf = *good;
+  y_inf.y = G1::Infinity();
+  EXPECT_FALSE(
+      Abs::AccumulateVerify(mvk_, Msg("ok"), pred, y_inf, rng_.get(), &acc));
+
+  // The rejected signatures contributed nothing: the batch still passes.
+  EXPECT_EQ(acc.Size(), 1u);
+  EXPECT_TRUE(acc.Check());
+}
+
+// Adversarial pair cancellation: two individually invalid signatures whose
+// errors are equal and opposite group elements. If the batch reused one
+// fixed weight across signatures, the errors would cancel inside the shared
+// per-base MSMs and the forged pair would slip through. Fresh per-verify
+// 128-bit weights make the combined error delta_1*T - delta_2*T vanish only
+// when delta_1 == delta_2 (probability 2^-128), so every trial must reject.
+TEST_F(AbsTest, BatchRejectsForgedPairCancellation) {
+  Policy pred = Policy::Parse("RoleA & RoleB");
+  auto s1 = Abs::Sign(mvk_, sk_all_, Msg("p1"), pred, rng_.get());
+  auto s2 = Abs::Sign(mvk_, sk_all_, Msg("p2"), pred, rng_.get());
+  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  G1 t = crypto::G1Generator().ScalarMul(Fr::FromU64(0xD00DFEED));
+
+  for (int trial = 0; trial < 4; ++trial) {
+    // W-equation cancellation: W1 += T, W2 -= T hits the shared a0 bucket.
+    Signature bad1 = *s1, bad2 = *s2;
+    bad1.w = bad1.w + t;
+    bad2.w = bad2.w + (-t);
+    ASSERT_FALSE(Abs::Verify(mvk_, Msg("p1"), pred, bad1));
+    ASSERT_FALSE(Abs::Verify(mvk_, Msg("p2"), pred, bad2));
+    BatchAccumulator acc(mvk_);
+    ASSERT_TRUE(
+        Abs::AccumulateVerify(mvk_, Msg("p1"), pred, bad1, rng_.get(), &acc));
+    ASSERT_TRUE(
+        Abs::AccumulateVerify(mvk_, Msg("p2"), pred, bad2, rng_.get(), &acc));
+    EXPECT_FALSE(acc.Check()) << "W cancellation survived, trial " << trial;
+
+    // Y-side cancellation: hits the shared h and h0 folds instead.
+    bad1 = *s1;
+    bad2 = *s2;
+    bad1.y = bad1.y + t;
+    bad2.y = bad2.y + (-t);
+    ASSERT_FALSE(Abs::Verify(mvk_, Msg("p1"), pred, bad1));
+    ASSERT_FALSE(Abs::Verify(mvk_, Msg("p2"), pred, bad2));
+    BatchAccumulator acc2(mvk_);
+    ASSERT_TRUE(
+        Abs::AccumulateVerify(mvk_, Msg("p1"), pred, bad1, rng_.get(), &acc2));
+    ASSERT_TRUE(
+        Abs::AccumulateVerify(mvk_, Msg("p2"), pred, bad2, rng_.get(), &acc2));
+    EXPECT_FALSE(acc2.Check()) << "Y cancellation survived, trial " << trial;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // inaccessible vs. non-existent records.
 #include <gtest/gtest.h>
 
+#include "core/kd_tree.h"
+#include "core/parallel_verify.h"
 #include "core/system.h"
 
 namespace apqa::core {
@@ -538,6 +540,267 @@ TEST(ParallelPathTest, ParallelJoinVerifyMatchesSerial) {
   EXPECT_EQ(serial_bad.entry_index, pooled_bad.entry_index);
   EXPECT_EQ(serial_bad.detail, pooled_bad.detail);
   EXPECT_EQ(serial_out.size(), pooled_out.size());
+}
+
+// --- Whole-VO batched verification vs the retained per-signature path ---
+
+bool SameResult(const VerifyResult& a, const VerifyResult& b) {
+  return a.code == b.code && a.entry_index == b.entry_index &&
+         a.detail == b.detail;
+}
+
+bool SameRecords(const std::vector<Record>& a, const std::vector<Record>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].value != b[i].value) return false;
+  }
+  return true;
+}
+
+// The default verify path now folds every ABS check of a VO into one batch
+// (core/parallel_verify.h). It must be observationally identical to the
+// retained per-signature path — same VerifyResult (code, entry index,
+// detail) and same emitted records — on valid AND tampered VOs, for every
+// VO shape. ScopedPerSignatureVerify forces the old path for comparison.
+TEST(ParallelPathTest, BatchedMatchesPerSignatureByteForByte) {
+  Domain domain{/*dims=*/1, /*bits=*/5};
+  DataOwner owner(RoleSet{"RoleA", "RoleB"}, domain, 31337);
+  std::vector<Record> records;
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    records.push_back(Rec(k, "v" + std::to_string(k),
+                          (k % 3 == 0) ? "RoleA" : "RoleA & RoleB"));
+  }
+  ServiceProvider sp(owner.keys(), owner.BuildAds(records));
+  UserCredentials creds = owner.EnrollUser({"RoleA"});
+  const SystemKeys& keys = owner.keys();
+  Box range{Point{1}, Point{18}};
+
+  auto run_range = [&](const Vo& v, std::vector<Record>* out,
+                       bool per_sig) -> VerifyResult {
+    if (per_sig) {
+      ScopedPerSignatureVerify guard;
+      return VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                             keys.universe, v, out);
+    }
+    return VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                           keys.universe, v, out);
+  };
+
+  // Range: valid, then one tampered ResultEntry (first / middle / last).
+  Vo vo = sp.RangeQuery(range, creds.roles);
+  std::vector<std::size_t> result_positions;
+  for (std::size_t i = 0; i < vo.entries.size(); ++i) {
+    if (std::holds_alternative<ResultEntry>(vo.entries[i])) {
+      result_positions.push_back(i);
+    }
+  }
+  ASSERT_GE(result_positions.size(), 3u);
+
+  std::vector<Record> batched_out, per_sig_out;
+  VerifyResult batched = run_range(vo, &batched_out, false);
+  VerifyResult sequential = run_range(vo, &per_sig_out, true);
+  EXPECT_TRUE(batched.ok()) << batched.ToString();
+  EXPECT_TRUE(SameResult(batched, sequential))
+      << batched.ToString() << " vs " << sequential.ToString();
+  EXPECT_TRUE(SameRecords(batched_out, per_sig_out));
+  EXPECT_FALSE(batched_out.empty());
+
+  for (std::size_t pos : {result_positions.front(),
+                          result_positions[result_positions.size() / 2],
+                          result_positions.back()}) {
+    Vo bad = vo;
+    std::get<ResultEntry>(bad.entries[pos]).value += "-tampered";
+    batched_out.clear();
+    per_sig_out.clear();
+    VerifyResult b = run_range(bad, &batched_out, false);
+    VerifyResult s = run_range(bad, &per_sig_out, true);
+    EXPECT_FALSE(b.ok());
+    EXPECT_EQ(b.code, VerifyCode::kBadSignature);
+    EXPECT_TRUE(SameResult(b, s))
+        << "entry " << pos << ": " << b.ToString() << " vs " << s.ToString();
+    EXPECT_TRUE(SameRecords(batched_out, per_sig_out)) << "entry " << pos;
+  }
+
+  // Equality: accessible record, valid and tampered.
+  Vo evo = sp.EqualityQuery(Point{3}, creds.roles);
+  Record brec, srec;
+  bool bacc = false, sacc = false;
+  VerifyResult be, se;
+  {
+    be = VerifyEqualityVoEx(keys.mvk, keys.domain, Point{3}, creds.roles,
+                            keys.universe, evo, &brec, &bacc);
+    ScopedPerSignatureVerify guard;
+    se = VerifyEqualityVoEx(keys.mvk, keys.domain, Point{3}, creds.roles,
+                            keys.universe, evo, &srec, &sacc);
+  }
+  EXPECT_TRUE(be.ok()) << be.ToString();
+  EXPECT_TRUE(SameResult(be, se));
+  EXPECT_EQ(bacc, sacc);
+  EXPECT_EQ(brec.value, srec.value);
+  Vo ebad = evo;
+  for (auto& entry : ebad.entries) {
+    if (auto* res = std::get_if<ResultEntry>(&entry)) res->value += "x";
+  }
+  {
+    be = VerifyEqualityVoEx(keys.mvk, keys.domain, Point{3}, creds.roles,
+                            keys.universe, ebad, nullptr, &bacc);
+    ScopedPerSignatureVerify guard;
+    se = VerifyEqualityVoEx(keys.mvk, keys.domain, Point{3}, creds.roles,
+                            keys.universe, ebad, nullptr, &sacc);
+  }
+  EXPECT_FALSE(be.ok());
+  EXPECT_TRUE(SameResult(be, se))
+      << be.ToString() << " vs " << se.ToString();
+
+  // Join: valid and tampered pair.
+  ServiceProvider spj(owner.keys(), owner.BuildAds(records));
+  spj.AttachJoinTable(owner.BuildAds(records));
+  JoinVo jvo = spj.JoinQuery(range, creds.roles);
+  auto run_join = [&](const JoinVo& v,
+                      std::vector<std::pair<Record, Record>>* out,
+                      bool per_sig) -> VerifyResult {
+    if (per_sig) {
+      ScopedPerSignatureVerify guard;
+      return VerifyJoinVoEx(keys.mvk, keys.domain, range, creds.roles,
+                            keys.universe, v, out);
+    }
+    return VerifyJoinVoEx(keys.mvk, keys.domain, range, creds.roles,
+                          keys.universe, v, out);
+  };
+  std::vector<std::pair<Record, Record>> bjout, sjout;
+  VerifyResult bj = run_join(jvo, &bjout, false);
+  VerifyResult sj = run_join(jvo, &sjout, true);
+  EXPECT_TRUE(bj.ok()) << bj.ToString();
+  EXPECT_TRUE(SameResult(bj, sj));
+  EXPECT_EQ(bjout.size(), sjout.size());
+  ASSERT_FALSE(jvo.pairs.empty());
+  JoinVo jbad = jvo;
+  jbad.pairs.front().r.value += "-tampered";
+  bjout.clear();
+  sjout.clear();
+  bj = run_join(jbad, &bjout, false);
+  sj = run_join(jbad, &sjout, true);
+  EXPECT_FALSE(bj.ok());
+  EXPECT_TRUE(SameResult(bj, sj))
+      << bj.ToString() << " vs " << sj.ToString();
+  EXPECT_EQ(bjout.size(), sjout.size());
+}
+
+// Same equivalence for the kd-tree verifier, which batches through the same
+// SigBatch.
+TEST(ParallelPathTest, KdBatchedMatchesPerSignature) {
+  Rng rng(808);
+  abs::MasterKey msk;
+  abs::VerifyKey mvk;
+  abs::Abs::Setup(&rng, &msk, &mvk);
+  RoleSet universe = {"RoleA", "RoleB", "RoleC"};
+  RoleSet all = universe;
+  all.insert(kPseudoRole);
+  abs::SigningKey sk = abs::Abs::KeyGen(msk, all, &rng);
+
+  Domain domain{1, 5};
+  std::vector<Record> records;
+  for (std::uint32_t k = 0; k < 12; ++k) {
+    records.push_back(Rec(2 * k + 1, "v" + std::to_string(k),
+                          (k % 2 == 0) ? "RoleA" : "RoleB"));
+  }
+  KdTree tree = KdTree::Build(mvk, sk, domain, records, &rng);
+  RoleSet user = {"RoleA"};
+  Box range{Point{2}, Point{27}};
+  KdVo vo = BuildKdRangeVo(tree, mvk, range, user, universe, &rng);
+
+  auto run = [&](const KdVo& v, std::vector<Record>* out,
+                 bool per_sig) -> VerifyResult {
+    if (per_sig) {
+      ScopedPerSignatureVerify guard;
+      return VerifyKdRangeVoEx(mvk, domain, range, user, universe, v, out);
+    }
+    return VerifyKdRangeVoEx(mvk, domain, range, user, universe, v, out);
+  };
+
+  std::vector<Record> bout, sout;
+  VerifyResult b = run(vo, &bout, false);
+  VerifyResult s = run(vo, &sout, true);
+  EXPECT_TRUE(b.ok()) << b.ToString();
+  EXPECT_TRUE(SameResult(b, s)) << b.ToString() << " vs " << s.ToString();
+  EXPECT_TRUE(SameRecords(bout, sout));
+  EXPECT_FALSE(bout.empty());
+
+  ASSERT_FALSE(vo.results.empty());
+  KdVo bad = vo;
+  bad.results[vo.results.size() / 2].value += "-tampered";
+  bout.clear();
+  sout.clear();
+  b = run(bad, &bout, false);
+  s = run(bad, &sout, true);
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(SameResult(b, s)) << b.ToString() << " vs " << s.ToString();
+  EXPECT_TRUE(SameRecords(bout, sout));
+}
+
+// Bisect blame recovery: when the whole-VO batch fails, SigBatch bisects to
+// the LOWEST failing job, so blame and partial-record emission must equal
+// the sequential verifier's with 1, 2, and all signatures tampered.
+TEST(ParallelPathTest, BisectRecoversLowestFailingIndex) {
+  Domain domain{/*dims=*/1, /*bits=*/5};
+  DataOwner owner(RoleSet{"RoleA", "RoleB"}, domain, 60606);
+  std::vector<Record> records;
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    records.push_back(Rec(k, "v" + std::to_string(k),
+                          (k % 2 == 0) ? "RoleA" : "RoleA & RoleB"));
+  }
+  ServiceProvider sp(owner.keys(), owner.BuildAds(records));
+  UserCredentials creds = owner.EnrollUser({"RoleA"});
+  const SystemKeys& keys = owner.keys();
+  Box range{Point{0}, Point{15}};
+  Vo vo = sp.RangeQuery(range, creds.roles);
+
+  std::vector<std::size_t> result_positions;
+  for (std::size_t i = 0; i < vo.entries.size(); ++i) {
+    if (std::holds_alternative<ResultEntry>(vo.entries[i])) {
+      result_positions.push_back(i);
+    }
+  }
+  ASSERT_GE(result_positions.size(), 3u);
+
+  auto run = [&](const Vo& v, std::vector<Record>* out,
+                 bool per_sig) -> VerifyResult {
+    if (per_sig) {
+      ScopedPerSignatureVerify guard;
+      return VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                             keys.universe, v, out);
+    }
+    return VerifyRangeVoEx(keys.mvk, keys.domain, range, creds.roles,
+                           keys.universe, v, out);
+  };
+
+  auto check_case = [&](const Vo& bad, const char* what) {
+    std::vector<Record> bout, sout;
+    VerifyResult b = run(bad, &bout, false);
+    VerifyResult s = run(bad, &sout, true);
+    EXPECT_FALSE(b.ok()) << what;
+    EXPECT_TRUE(SameResult(b, s))
+        << what << ": " << b.ToString() << " vs " << s.ToString();
+    EXPECT_TRUE(SameRecords(bout, sout)) << what;
+  };
+
+  // One tampered signature, somewhere in the middle.
+  Vo one = vo;
+  std::get<ResultEntry>(one.entries[result_positions[1]]).value += "x";
+  check_case(one, "one tampered");
+
+  // Two tampered signatures: blame must land on the lower one.
+  Vo two = vo;
+  std::get<ResultEntry>(two.entries[result_positions[1]]).value += "x";
+  std::get<ResultEntry>(two.entries[result_positions.back()]).value += "x";
+  check_case(two, "two tampered");
+
+  // Every accessible record tampered: blame is the first job, no records.
+  Vo all = vo;
+  for (auto& entry : all.entries) {
+    if (auto* res = std::get_if<ResultEntry>(&entry)) res->value += "x";
+  }
+  check_case(all, "all tampered");
 }
 
 }  // namespace

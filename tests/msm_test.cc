@@ -224,6 +224,56 @@ TEST(MultiPairingBatchedTest, SkipsInfinityPairs) {
   EXPECT_TRUE(MultiPairing({}).IsOne());
 }
 
+// Shared-table multi-set MSM (MsmShared): fold the SAME points under
+// several scalar vectors off one table build. Must agree with independent
+// per-set Msm calls, including degenerate terms and sets of very different
+// bit widths (the batch verifier mixes 128-bit weights with full-width
+// mu*rho scalars).
+TEST(MsmTest, SharedMultiSetMatchesPerSetMsm) {
+  Rng rng(15);
+  for (std::size_t n : {1u, 2u, 5u, 40u}) {
+    std::vector<G1> pts(n);
+    std::vector<Fr> narrow(n), wide(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i] = G1Mul(rng.NextNonZeroFr());
+      narrow[i] = Fr::FromU64(rng.NextU64());  // short scalars
+      wide[i] = rng.NextFr();                  // full width
+    }
+    if (n >= 5) {
+      pts[1] = G1::Infinity();
+      narrow[2] = Fr::Zero();
+      wide[3] = Fr::Zero();
+    }
+    std::vector<std::vector<Fr>> sets = {narrow, wide};
+    std::vector<G1> folded = G1MsmShared(
+        std::span<const G1>(pts),
+        std::span<const std::vector<Fr>>(sets.data(), sets.size()));
+    ASSERT_EQ(folded.size(), 2u);
+    EXPECT_EQ(folded[0],
+              G1Msm(std::span<const G1>(pts), std::span<const Fr>(narrow)))
+        << "n=" << n;
+    EXPECT_EQ(folded[1],
+              G1Msm(std::span<const G1>(pts), std::span<const Fr>(wide)))
+        << "n=" << n;
+  }
+  // G2 flavour, same contract.
+  std::vector<G2> qs(7);
+  std::vector<Fr> a(7), b(7);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qs[i] = G2Mul(rng.NextNonZeroFr());
+    a[i] = Fr::FromU64(rng.NextU64());
+    b[i] = rng.NextFr();
+  }
+  qs[4] = G2::Infinity();
+  std::vector<std::vector<Fr>> gsets = {a, b};
+  std::vector<G2> gf = G2MsmShared(
+      std::span<const G2>(qs),
+      std::span<const std::vector<Fr>>(gsets.data(), gsets.size()));
+  ASSERT_EQ(gf.size(), 2u);
+  EXPECT_EQ(gf[0], G2Msm(std::span<const G2>(qs), std::span<const Fr>(a)));
+  EXPECT_EQ(gf[1], G2Msm(std::span<const G2>(qs), std::span<const Fr>(b)));
+}
+
 TEST(MultiPairingBatchedTest, CancellationStillHolds) {
   Rng rng(14);
   Fr a = rng.NextNonZeroFr();
